@@ -1,0 +1,28 @@
+"""Bench: regenerate Fig. 7 (runtime per epoch, total runtime, convergence).
+
+Paper shape: UMGAD's runtime is competitive with the best baselines and its
+training loss converges (large early drop, flat tail).
+"""
+
+from repro.experiments import fig7
+
+from conftest import save_and_echo
+
+
+def test_fig7_efficiency(benchmark, profile, output_dir):
+    result = benchmark.pedantic(
+        fig7.run, args=(profile,),
+        kwargs={"datasets": ["retail", "yelpchi"]},
+        rounds=1, iterations=1)
+    timings = result["timings"]
+    methods = {r["method"] for r in timings}
+    assert methods == {"GRADATE", "GADAM", "ADA-GAD", "DualGAD", "UMGAD"}
+    assert all(r["total_s"] > 0 for r in timings)
+
+    # convergence: UMGAD's loss decreases over training on every dataset
+    for ds, curve in result["umgad_loss"].items():
+        assert len(curve) == profile.umgad_epochs
+        first = sum(curve[:3]) / 3
+        last = sum(curve[-3:]) / 3
+        assert last < first, f"loss did not decrease on {ds}"
+    save_and_echo(output_dir, "fig7", fig7.render(result))

@@ -1,0 +1,67 @@
+"""Micro-benchmarks for the substrate hot paths.
+
+Not a paper table — these track the cost of the primitives every experiment
+leans on (sparse propagation, GAT attention, threshold selection, dataset
+generation), so performance regressions show up before they distort the
+Fig. 6/7 timing reproductions.
+"""
+
+import numpy as np
+
+from repro.autograd import Tensor, ops, spmm
+from repro.core.threshold import select_threshold
+from repro.datasets import load_dataset
+from repro.graphs import random_multiplex
+from repro.nn import GATConv, SGCConv
+
+
+def test_spmm_forward_backward(benchmark):
+    rng = np.random.default_rng(0)
+    graph = random_multiplex(2000, 1, 32, rng, avg_degree=8.0)
+    prop = graph["rel0"].sym_propagator()
+    x_np = rng.normal(size=(2000, 32))
+
+    def run():
+        x = Tensor(x_np, requires_grad=True)
+        out = ops.sum(spmm(prop, x))
+        out.backward()
+        return out
+
+    benchmark(run)
+
+
+def test_gat_forward_backward(benchmark):
+    rng = np.random.default_rng(1)
+    graph = random_multiplex(1000, 1, 32, rng, avg_degree=8.0)
+    src, dst = graph["rel0"].directed_pairs()
+    layer = GATConv(32, 32, rng, heads=2)
+    x_np = rng.normal(size=(1000, 32))
+
+    def run():
+        out = layer(Tensor(x_np), src, dst, num_nodes=1000)
+        ops.sum(ops.mul(out, out)).backward()
+        layer.zero_grad()
+
+    benchmark(run)
+
+
+def test_sgc_forward(benchmark):
+    rng = np.random.default_rng(2)
+    graph = random_multiplex(2000, 1, 32, rng, avg_degree=8.0)
+    prop = graph["rel0"].sym_propagator()
+    layer = SGCConv(32, 32, rng, propagation=2)
+    x = Tensor(rng.normal(size=(2000, 32)))
+    benchmark(lambda: layer(x, prop))
+
+
+def test_threshold_selection_100k(benchmark):
+    rng = np.random.default_rng(3)
+    scores = np.concatenate([2.0 + rng.random(500), rng.random(100_000)])
+    result = benchmark(lambda: select_threshold(scores))
+    assert result.num_anomalies > 0
+
+
+def test_dataset_generation(benchmark):
+    benchmark.pedantic(
+        lambda: load_dataset("yelpchi", scale=0.5, seed=0),
+        rounds=1, iterations=1)

@@ -1,0 +1,69 @@
+"""E-commerce fraud detection on a custom multiplex behaviour graph.
+
+This is the paper intro's motivating scenario: users interact with items
+through View / Cart / Buy relations; fraud campaigns form coordinated
+cliques (review-scrubbing buffs) and some accounts carry stolen profiles
+(attribute anomalies). The example builds the graph from scratch with the
+library's generator + injection APIs — the same path you would follow to
+wrap your own interaction logs into a ``MultiplexGraph``.
+
+Run:
+    python examples/ecommerce_fraud.py
+"""
+
+import numpy as np
+
+from repro import UMGAD, UMGADConfig, macro_f1, roc_auc
+from repro.anomalies import inject_anomalies
+from repro.graphs import behavior_multiplex
+from repro.utils.rng import ensure_rng
+
+
+def build_marketplace(rng):
+    """A marketplace with 1,400 users, 600 items and nested behaviours."""
+    return behavior_multiplex(
+        num_users=1_400,
+        num_items=600,
+        edge_counts={"View": 6_000, "Cart": 1_000, "Buy": 760},
+        num_features=32,
+        rng=rng,
+        noise=0.7,
+    )
+
+
+def main():
+    rng = ensure_rng(13)
+    clean = build_marketplace(rng)
+    print(f"marketplace: {clean}")
+
+    # Plant fraud: 4 coordinated cliques of 5 accounts (each clique picks
+    # 1-2 relation types, like coordinated cart-boosting), plus 20 accounts
+    # with swapped (stolen) attribute profiles.
+    graph, labels, report = inject_anomalies(
+        clean, clique_size=5, num_cliques=4, attribute_count=20, rng=rng)
+    print(f"injected {report.num_anomalies} fraudulent accounts "
+          f"({report.structural_nodes.size} clique members, "
+          f"{report.attribute_nodes.size} stolen profiles)")
+
+    model = UMGAD(UMGADConfig(epochs=40, mask_ratio=0.2, epsilon=0.7, seed=0))
+    model.fit(graph)
+
+    scores = model.decision_scores()
+    predictions = model.predict()  # label-free threshold
+    flagged = np.flatnonzero(predictions)
+
+    print(f"\nflagged {flagged.size} accounts without any labels")
+    print(f"AUC      = {roc_auc(labels, scores):.3f}")
+    print(f"Macro-F1 = {macro_f1(labels, predictions):.3f}")
+
+    # Which fraud type was easier to catch?
+    order = np.argsort(-scores)
+    top = set(order[:report.num_anomalies].tolist())
+    caught_struct = len(top & set(report.structural_nodes.tolist()))
+    caught_attr = len(top & set(report.attribute_nodes.tolist()))
+    print(f"top-k hits: {caught_struct}/{report.structural_nodes.size} clique "
+          f"members, {caught_attr}/{report.attribute_nodes.size} stolen profiles")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Explaining flagged anomalies: why did UMGAD score this node highly?
+
+Production anomaly detection needs evidence, not just scores. This example
+fits UMGAD on the YelpChi-like review network, takes the top flagged nodes,
+and prints each one's evidence bundle: attribute residual (with the most
+deviant feature dimensions), per-relation structure reconstruction error,
+and the learned relation weights that fused them.
+
+Run:
+    python examples/explain_anomalies.py
+"""
+
+import numpy as np
+
+from repro import UMGAD, UMGADConfig, load_dataset
+from repro.core import AnomalyExplainer
+
+
+def main():
+    dataset = load_dataset("yelpchi", scale=0.35, seed=7)
+    print(f"review network: {dataset.graph}")
+
+    model = UMGAD(UMGADConfig(epochs=30, mask_ratio=0.6, encoder_layers=2,
+                              seed=0))
+    model.fit(dataset.graph)
+
+    explainer = AnomalyExplainer(model, dataset.graph)
+    top = explainer.top_anomalies(k=5)
+
+    print("\n--- top flagged nodes, with evidence ---")
+    for explanation in top:
+        truth = "TRUE anomaly" if dataset.labels[explanation.node] else "normal"
+        print(f"\n[{truth}]")
+        print(explanation.summary())
+
+    # Aggregate view: which relation carried the most anomaly signal?
+    weights = model.relation_importance
+    dominant = max(weights, key=weights.get)
+    print(f"\nmost informative relation (learned a_r): {dominant} "
+          f"({weights[dominant]:.2f})")
+
+    hits = sum(dataset.labels[e.node] for e in top)
+    print(f"{hits}/5 of the top-explained nodes are labelled anomalies")
+
+
+if __name__ == "__main__":
+    main()

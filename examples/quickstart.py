@@ -1,0 +1,47 @@
+"""Quickstart: detect anomalies in a multiplex graph with UMGAD.
+
+Loads the Retail-like dataset (user-item graph with View/Cart/Buy
+relations and injected anomalies), fits UMGAD, selects the anomaly-score
+threshold WITHOUT ground truth, and evaluates against the held-out labels.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import UMGAD, UMGADConfig, load_dataset, macro_f1, roc_auc
+
+
+def main():
+    # 1. Load a dataset: a multiplex graph + labels (labels are used only
+    #    for evaluation, never during fitting).
+    dataset = load_dataset("retail", scale=0.4, seed=7)
+    graph = dataset.graph
+    print(f"dataset: {graph}")
+    print(f"true anomalies: {dataset.num_anomalies} / {graph.num_nodes} nodes")
+
+    # 2. Configure and fit. mask_ratio / encoder depth follow the paper's
+    #    per-dataset settings (Sec. V-A3); epsilon weights the attribute
+    #    error for injected-anomaly data.
+    config = UMGADConfig(epochs=40, mask_ratio=0.2, encoder_layers=1,
+                         epsilon=0.7, seed=0)
+    model = UMGAD(config)
+    model.fit(graph, verbose=True)
+
+    # 3. Anomaly scores and the label-free threshold (paper Sec. IV-E).
+    scores = model.decision_scores()
+    threshold = model.threshold()
+    print(f"\ninflection threshold: {threshold.threshold:.4f} "
+          f"(flags {threshold.num_anomalies} nodes; window={threshold.window})")
+
+    # 4. Which relations mattered? (learned fusion weights a_r)
+    print("learned relation importance:",
+          {k: round(v, 3) for k, v in model.relation_importance.items()})
+
+    # 5. Evaluate (labels only used here).
+    predictions = model.predict()
+    print(f"\nAUC      = {roc_auc(dataset.labels, scores):.3f}")
+    print(f"Macro-F1 = {macro_f1(dataset.labels, predictions):.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Review-spam detection on an Amazon-like network, comparing methods.
+
+Reproduces the paper's core comparison in miniature: UMGAD vs one
+representative baseline per family (Radar / TAM / GRADATE / DOMINANT /
+AnomMAN) on a review network with organic fraud rings, under BOTH
+evaluation protocols — the real-unsupervised threshold and the
+ground-truth-leakage top-k threshold (Table II vs Table V).
+
+Run:
+    python examples/review_spam.py
+"""
+
+from repro import UMGAD, UMGADConfig, load_dataset
+from repro.baselines import make_baseline
+from repro.eval import evaluate_gt_leakage, evaluate_unsupervised
+
+REPRESENTATIVES = ["Radar", "TAM", "GRADATE", "DOMINANT", "AnomMAN"]
+
+
+def main():
+    dataset = load_dataset("amazon", scale=0.5, seed=7)
+    print(f"review network: {dataset.graph}")
+    print(f"fraud rate: {dataset.info.anomaly_rate:.1%} "
+          f"({dataset.num_anomalies} fraudsters)\n")
+
+    detectors = {name: make_baseline(name, seed=0, epochs=30)
+                 for name in REPRESENTATIVES}
+    detectors["UMGAD"] = UMGAD(UMGADConfig(
+        epochs=40, mask_ratio=0.4, encoder_layers=2, seed=0))
+
+    header = (f"{'method':10s} {'AUC':>7s} {'F1 (unsup.)':>12s} "
+              f"{'F1 (leak)':>10s} {'flagged':>8s}")
+    print(header)
+    print("-" * len(header))
+    for name, detector in detectors.items():
+        detector.fit(dataset.graph)
+        scores = detector.decision_scores()
+        unsup = evaluate_unsupervised(dataset.labels, scores)
+        leak = evaluate_gt_leakage(dataset.labels, scores)
+        print(f"{name:10s} {unsup.auc:7.3f} {unsup.macro_f1:12.3f} "
+              f"{leak.macro_f1:10.3f} {unsup.num_predicted:8d}")
+
+    print(f"\n(true anomaly count: {dataset.num_anomalies}; the unsupervised "
+          f"column used no labels at all)")
+
+
+if __name__ == "__main__":
+    main()

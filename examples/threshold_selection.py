@@ -1,0 +1,66 @@
+"""The label-free threshold strategy, step by step (paper Sec. IV-E, RQ1).
+
+Walks through Eqs. 20-23 on real model scores: sort, smooth with a moving
+average, take first/second differences, find the inflection point — then
+compares the flagged count against (a) the true anomaly count and (b) the
+naive alternatives the paper critiques (fixed quantile, elbow-free argmax).
+
+Run:
+    python examples/threshold_selection.py
+"""
+
+import numpy as np
+
+from repro import UMGAD, UMGADConfig, load_dataset
+from repro.core.threshold import default_window, moving_average, select_threshold
+
+
+def ascii_curve(values, width=64, height=10):
+    """Tiny ASCII plot of a descending score curve."""
+    idx = np.linspace(0, len(values) - 1, width).astype(int)
+    ys = np.asarray(values)[idx]
+    lo, hi = ys.min(), ys.max()
+    rows = []
+    for level in range(height, -1, -1):
+        cut = lo + (hi - lo) * level / height
+        rows.append("".join("#" if y >= cut else " " for y in ys))
+    return "\n".join(rows)
+
+
+def main():
+    dataset = load_dataset("alibaba", scale=0.5, seed=7)
+    model = UMGAD(UMGADConfig(epochs=40, mask_ratio=0.2, epsilon=0.7, seed=0))
+    model.fit(dataset.graph)
+    scores = model.decision_scores()
+
+    # --- Eqs. 20-23, spelled out
+    ordered = np.sort(scores)[::-1]
+    w = default_window(len(scores))
+    smoothed = moving_average(ordered, w)              # Eq. 20
+    delta1 = smoothed[:-1] - smoothed[1:]              # Eq. 21
+    delta2 = np.abs(delta1[:-1] - delta1[1:])          # Eq. 22
+    result = select_threshold(scores)                  # Eq. 23 + tie-break
+
+    print("ranked anomaly-score curve (descending):")
+    print(ascii_curve(smoothed))
+    print(f"\nsmoothing window w = max(0.0001*|V|, 5) = {w}")
+    print(f"inflection index T = {result.index}")
+    print(f"threshold s(T)     = {result.threshold:.4f}")
+    print(f"flagged            = {result.num_anomalies}")
+    print(f"true anomalies     = {dataset.num_anomalies}")
+
+    # --- the alternatives the paper argues against
+    naive_argmax = int(np.argmax(delta2))
+    for q in (0.90, 0.95, 0.99):
+        flagged = int((scores >= np.quantile(scores, q)).sum())
+        print(f"fixed quantile {q:.0%}: flags {flagged:5d} "
+              f"(needs the anomaly rate a priori)")
+    print(f"raw argmax|Δ2| (no tie-break): index {naive_argmax} — "
+          f"sensitive to top-of-curve spikes")
+    print("\nThe inflection strategy needs neither labels nor the anomaly "
+          "rate, and lands near the true count when the detector separates "
+          "the classes (the paper's RQ1 claim).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""UMGAD reproduction: Unsupervised Multiplex Graph Anomaly Detection.
+
+Public surface (see README for a tour):
+
+* :class:`UMGAD` / :class:`UMGADConfig` — the paper's model.
+* :func:`load_dataset` — the six evaluation datasets (scaled stand-ins).
+* :func:`select_threshold` — the label-free threshold strategy (Sec. IV-E).
+* :mod:`repro.baselines` — all 22 comparison methods.
+* :mod:`repro.eval` — metrics, protocols, multi-seed runner.
+* :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+from .core import UMGAD, UMGADConfig, ablation_config, select_threshold
+from .datasets import available_datasets, load_dataset
+from .detection import BaseDetector
+from .eval import macro_f1, roc_auc
+from .graphs import MultiplexGraph, RelationGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BaseDetector",
+    "MultiplexGraph",
+    "RelationGraph",
+    "UMGAD",
+    "UMGADConfig",
+    "ablation_config",
+    "available_datasets",
+    "load_dataset",
+    "macro_f1",
+    "roc_auc",
+    "select_threshold",
+    "__version__",
+]

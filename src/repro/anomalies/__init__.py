@@ -1,0 +1,15 @@
+"""Anomaly injection (Ding et al. protocol used by the paper)."""
+
+from .injection import (
+    InjectionReport,
+    inject_anomalies,
+    inject_attribute_anomalies,
+    inject_structural_anomalies,
+)
+
+__all__ = [
+    "InjectionReport",
+    "inject_anomalies",
+    "inject_attribute_anomalies",
+    "inject_structural_anomalies",
+]

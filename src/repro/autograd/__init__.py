@@ -1,0 +1,38 @@
+"""Numpy reverse-mode autodiff engine (the PyTorch substitute).
+
+Public surface:
+
+* :class:`Tensor` / :func:`tensor` — the differentiable array type.
+* :mod:`repro.autograd.ops` — dense ops, reductions, activations, segment ops.
+* :func:`spmm` — sparse-adjacency × dense-feature product.
+* :func:`numeric_gradient` — finite-difference checker used by the tests.
+"""
+
+from . import ops
+from .tensor import (
+    Tensor,
+    as_array,
+    ensure_tensor,
+    get_default_dtype,
+    ones,
+    set_default_dtype,
+    tensor,
+    zeros,
+)
+from .sparse import spmm
+from .gradcheck import numeric_gradient, check_gradients
+
+__all__ = [
+    "Tensor",
+    "as_array",
+    "check_gradients",
+    "ensure_tensor",
+    "get_default_dtype",
+    "numeric_gradient",
+    "ones",
+    "ops",
+    "set_default_dtype",
+    "spmm",
+    "tensor",
+    "zeros",
+]

@@ -1,0 +1,64 @@
+"""Finite-difference gradient checking utilities.
+
+These power the autograd test-suite: every op's analytic backward pass is
+validated against a central-difference numeric estimate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def numeric_gradient(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[np.ndarray],
+    wrt: int = 0,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of ``sum(fn(*inputs))`` w.r.t. one input.
+
+    ``fn`` receives :class:`Tensor` arguments and must return a Tensor; the
+    scalarised objective is the elementwise sum of its output.
+    """
+    base = [np.asarray(x, dtype=np.float64).copy() for x in inputs]
+    grad = np.zeros_like(base[wrt])
+    flat = base[wrt].reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        plus = float(fn(*[Tensor(b) for b in base]).data.sum())
+        flat[i] = orig - eps
+        minus = float(fn(*[Tensor(b) for b in base]).data.sum())
+        flat[i] = orig
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[np.ndarray],
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+) -> None:
+    """Assert analytic and numeric gradients agree for every input.
+
+    Raises ``AssertionError`` with a readable message on mismatch.
+    """
+    tensors = [Tensor(np.asarray(x, dtype=np.float64), requires_grad=True) for x in inputs]
+    out = fn(*tensors)
+    out.sum().backward()
+    for i, t in enumerate(tensors):
+        analytic = t.grad if t.grad is not None else np.zeros_like(t.data)
+        numeric = numeric_gradient(fn, inputs, wrt=i)
+        np.testing.assert_allclose(
+            analytic,
+            numeric,
+            atol=atol,
+            rtol=rtol,
+            err_msg=f"gradient mismatch for input {i}",
+        )

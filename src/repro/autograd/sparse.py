@@ -1,0 +1,45 @@
+"""Sparse-dense products for graph convolutions.
+
+Graph propagation multiplies a (constant) sparse operator — typically the
+symmetrically normalised adjacency — with a dense feature tensor. The sparse
+matrix itself never requires gradients here, which keeps the backward rule
+simple: ``d/dX (S @ X) = S^T @ grad``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .tensor import Tensor
+from .ops import _acc, _make
+
+
+def spmm(matrix: sp.spmatrix, dense) -> Tensor:
+    """Multiply a constant scipy sparse matrix with a dense tensor.
+
+    Parameters
+    ----------
+    matrix:
+        ``(n, m)`` scipy sparse matrix (converted to CSR once per call site;
+        callers should pre-convert for hot loops).
+    dense:
+        ``(m, f)`` or ``(m,)`` tensor.
+    """
+    from .tensor import ensure_tensor
+
+    dense = ensure_tensor(dense)
+    if not sp.issparse(matrix):
+        raise TypeError(f"spmm expects a scipy sparse matrix, got {type(matrix)!r}")
+    out = matrix @ dense.data
+    matrix_t = None
+
+    def backward(grad, grads):
+        nonlocal matrix_t
+        if not dense.requires_grad:
+            return
+        if matrix_t is None:
+            matrix_t = matrix.T.tocsr()
+        _acc(grads, dense, matrix_t @ grad)
+
+    return _make(np.asarray(out), (dense,), backward)

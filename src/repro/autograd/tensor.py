@@ -1,0 +1,334 @@
+"""Reverse-mode automatic differentiation on top of numpy.
+
+This module is the neural-network substrate for the UMGAD reproduction: the
+paper trains graph-masked autoencoders with PyTorch, which is unavailable
+here, so we implement the minimal engine the models need — a :class:`Tensor`
+wrapping a ``numpy.ndarray``, a dynamically built computation graph, and
+reverse-mode backpropagation over it.
+
+Design notes
+------------
+* Every differentiable operation creates a new :class:`Tensor` whose
+  ``_parents`` are the input tensors and whose ``_backward`` closure
+  accumulates gradients into those parents.
+* Gradients are plain ``numpy.ndarray`` objects stored on ``Tensor.grad``.
+* Broadcasting is supported; :func:`unbroadcast` reduces gradients back to
+  the parent's shape.
+* The engine is eager and single-threaded, which is all the models here
+  require.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+_DEFAULT_DTYPE = np.float64
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the dtype used when tensors are created from python data."""
+    global _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = np.dtype(dtype)
+
+
+def get_default_dtype():
+    """Return the dtype used when tensors are created from python data."""
+    return _DEFAULT_DTYPE
+
+
+def as_array(data: ArrayLike, dtype=None) -> np.ndarray:
+    """Coerce ``data`` to a float numpy array without copying when possible."""
+    if isinstance(data, np.ndarray):
+        if dtype is not None and data.dtype != dtype:
+            return data.astype(dtype)
+        if data.dtype.kind not in "fc":
+            return data.astype(_DEFAULT_DTYPE)
+        return data
+    return np.asarray(data, dtype=dtype or _DEFAULT_DTYPE)
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing numpy broadcasting.
+
+    Used by binary-op backward passes: if ``a`` of shape ``(n, 1)`` was
+    broadcast against ``b`` of shape ``(n, m)``, the gradient arriving for
+    ``a`` has shape ``(n, m)`` and must be summed over the broadcast axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were 1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed tensor participating in reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload. Integer input is promoted to the default float
+        dtype so gradients are well-defined.
+    requires_grad:
+        Whether gradients should be accumulated for this tensor.
+    parents:
+        Input tensors of the op that produced this tensor (internal).
+    backward_fn:
+        Closure mapping the upstream gradient to ``None`` while writing into
+        ``parent.grad`` (internal).
+    name:
+        Optional label used in ``repr`` for debugging.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        parents: Tuple["Tensor", ...] = (),
+        backward_fn: Optional[Callable[[np.ndarray], None]] = None,
+        name: Optional[str] = None,
+    ):
+        self.data = as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        self._parents = parents
+        self._backward = backward_fn
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        from . import ops
+
+        return ops.transpose(self)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        label = f" name={self.name!r}" if self.name else ""
+        grad = ", grad" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad}{label})"
+
+    # ------------------------------------------------------------------
+    # Graph mechanics
+    # ------------------------------------------------------------------
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def _accumulate_grad(self, grad: np.ndarray) -> None:
+        grad = unbroadcast(grad, self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy() if grad.base is not None else grad
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        ``grad`` defaults to ones for scalar outputs (the common loss case);
+        a non-scalar output requires an explicit upstream gradient.
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError(
+                    "backward() on a non-scalar tensor requires an explicit "
+                    f"gradient (shape {self.shape})"
+                )
+            grad = np.ones_like(self.data)
+        else:
+            grad = as_array(grad)
+            if grad.shape != self.data.shape:
+                raise ValueError(
+                    f"gradient shape {grad.shape} does not match tensor shape "
+                    f"{self.shape}"
+                )
+
+        order = _topological_order(self)
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in order:
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad and node._backward is None:
+                # Leaf tensor: store the accumulated gradient.
+                node._accumulate_grad(node_grad)
+            if node._backward is not None:
+                node._backward(node_grad, grads)
+
+    # ------------------------------------------------------------------
+    # Operator sugar (implemented in ops.py to avoid circular logic here)
+    # ------------------------------------------------------------------
+    def __add__(self, other):
+        from . import ops
+
+        return ops.add(self, other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        from . import ops
+
+        return ops.sub(self, other)
+
+    def __rsub__(self, other):
+        from . import ops
+
+        return ops.sub(other, self)
+
+    def __mul__(self, other):
+        from . import ops
+
+        return ops.mul(self, other)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        from . import ops
+
+        return ops.div(self, other)
+
+    def __rtruediv__(self, other):
+        from . import ops
+
+        return ops.div(other, self)
+
+    def __neg__(self):
+        from . import ops
+
+        return ops.neg(self)
+
+    def __pow__(self, exponent):
+        from . import ops
+
+        return ops.power(self, exponent)
+
+    def __matmul__(self, other):
+        from . import ops
+
+        return ops.matmul(self, other)
+
+    def __getitem__(self, index):
+        from . import ops
+
+        return ops.index(self, index)
+
+    # Reductions / shape helpers as methods for ergonomic model code.
+    def sum(self, axis=None, keepdims=False):
+        from . import ops
+
+        return ops.sum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims=False):
+        from . import ops
+
+        return ops.mean(self, axis=axis, keepdims=keepdims)
+
+    def reshape(self, *shape):
+        from . import ops
+
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return ops.reshape(self, shape)
+
+    def transpose(self, axes=None):
+        from . import ops
+
+        return ops.transpose(self, axes)
+
+    def norm(self, axis=None, keepdims=False, ord=2):
+        from . import ops
+
+        return ops.norm(self, axis=axis, keepdims=keepdims, ord=ord)
+
+
+def _topological_order(root: Tensor) -> list:
+    """Return tensors reachable from ``root`` in reverse topological order.
+
+    Iterative DFS — model graphs here can be thousands of nodes deep
+    (per-epoch loss graphs), which would overflow Python's recursion limit.
+    """
+    order: list[Tensor] = []
+    visited: set[int] = set()
+    stack: list[tuple[Tensor, bool]] = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            order.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for parent in node._parents:
+            if id(parent) not in visited:
+                stack.append((parent, False))
+    order.reverse()
+    return order
+
+
+def tensor(data: ArrayLike, requires_grad: bool = False, name: Optional[str] = None) -> Tensor:
+    """Create a leaf :class:`Tensor` (the public constructor)."""
+    return Tensor(data, requires_grad=requires_grad, name=name)
+
+
+def zeros(shape, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.zeros(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
+
+
+def ones(shape, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.ones(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
+
+
+def ensure_tensor(value: Union[Tensor, ArrayLike]) -> Tensor:
+    """Coerce arrays / scalars to (constant) tensors; pass tensors through."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+def no_grad_all(tensors: Iterable[Tensor]) -> None:
+    """Clear gradients on an iterable of tensors (used by optimizers)."""
+    for t in tensors:
+        t.zero_grad()

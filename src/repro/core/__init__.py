@@ -1,0 +1,27 @@
+"""UMGAD core: model, config, losses, scoring, threshold selection."""
+
+from .config import UMGADConfig, ablation_config
+from .explain import AnomalyExplainer, Explanation
+from .gmae import GMAE
+from .model import UMGAD
+from .threshold import (
+    ThresholdResult,
+    default_window,
+    moving_average,
+    predict_with_threshold,
+    select_threshold,
+)
+
+__all__ = [
+    "AnomalyExplainer",
+    "Explanation",
+    "GMAE",
+    "ThresholdResult",
+    "UMGAD",
+    "UMGADConfig",
+    "ablation_config",
+    "default_window",
+    "moving_average",
+    "predict_with_threshold",
+    "select_threshold",
+]

@@ -1,0 +1,97 @@
+"""Graph-masked autoencoder (GMAE) building block.
+
+One GMAE pairs an encoder (GAT, or simplified GCN for the augmented views,
+matching Sec. V-A3: "Our method adopts GAT and simplified GCN as the encoder
+and decoder") with a simplified-GCN decoder that maps hidden states back to
+attribute space. The learnable ``[MASK]`` token lives here too.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..autograd import ops
+from ..autograd.tensor import Tensor
+from ..graphs.graph import RelationGraph
+from ..nn import GATConv, Module, ModuleList, Parameter, SGCConv, init
+
+
+class GMAE(Module):
+    """Encoder/decoder pair with an optional learnable mask token.
+
+    Parameters
+    ----------
+    in_features / hidden_dim:
+        Attribute and latent dimensionalities (``f`` and ``d_h``).
+    encoder:
+        ``"gat"`` (original view) or ``"sgc"`` (augmented views).
+    encoder_layers:
+        Depth of the encoder stack (paper: 2 for real-anomaly datasets,
+        1 for injected ones).
+    """
+
+    def __init__(self, in_features: int, hidden_dim: int, rng: np.random.Generator,
+                 encoder: str = "gat", encoder_layers: int = 1,
+                 decoder_propagation: int = 1, gat_heads: int = 1):
+        super().__init__()
+        if encoder not in ("gat", "sgc"):
+            raise ValueError(f"unknown encoder kind {encoder!r}")
+        self.kind = encoder
+        self.in_features = in_features
+        self.hidden_dim = hidden_dim
+        self.mask_token = Parameter(init.normal((1, in_features), rng, std=0.1),
+                                    name="gmae.mask_token")
+
+        layers = []
+        dims = [in_features] + [hidden_dim] * encoder_layers
+        for d_in, d_out in zip(dims[:-1], dims[1:]):
+            if encoder == "gat":
+                layers.append(GATConv(d_in, d_out, rng, heads=gat_heads,
+                                      concat_heads=False))
+            else:
+                layers.append(SGCConv(d_in, d_out, rng, propagation=1))
+        self.encoder = ModuleList(layers)
+        self.decoder = SGCConv(hidden_dim, in_features, rng,
+                               propagation=decoder_propagation)
+
+    # ------------------------------------------------------------------
+    def apply_mask(self, x: Tensor, masked_nodes: np.ndarray) -> Tensor:
+        """Replace the rows of ``masked_nodes`` with the [MASK] token."""
+        if masked_nodes.size == 0:
+            return x
+        return ops.set_rows(x, masked_nodes, self.mask_token)
+
+    def encode(self, x: Tensor, graph: RelationGraph,
+               propagator: Optional[sp.spmatrix] = None) -> Tensor:
+        """Run the encoder stack over ``graph``'s structure."""
+        h = x
+        if self.kind == "gat":
+            src, dst = graph.directed_pairs()
+            for i, layer in enumerate(self.encoder):
+                h = layer(h, src, dst, num_nodes=graph.num_nodes)
+                if i + 1 < len(self.encoder):
+                    h = ops.elu(h)
+        else:
+            prop = propagator if propagator is not None else graph.sym_propagator()
+            for i, layer in enumerate(self.encoder):
+                h = layer(h, prop)
+                if i + 1 < len(self.encoder):
+                    h = ops.elu(h)
+        return h
+
+    def decode(self, hidden: Tensor, graph: RelationGraph,
+               propagator: Optional[sp.spmatrix] = None) -> Tensor:
+        """Decode hidden states back to attribute space."""
+        prop = propagator if propagator is not None else graph.sym_propagator()
+        return self.decoder(hidden, prop)
+
+    def forward(self, x: Tensor, graph: RelationGraph,
+                masked_nodes: Optional[np.ndarray] = None) -> Tensor:
+        """Full masked-autoencoding pass; returns reconstructed attributes."""
+        if masked_nodes is not None and masked_nodes.size:
+            x = self.apply_mask(x, masked_nodes)
+        hidden = self.encode(x, graph)
+        return self.decode(hidden, graph)

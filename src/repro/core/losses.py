@@ -1,0 +1,101 @@
+"""UMGAD loss kernels (Eqs. 4, 7, 13, 15, 17).
+
+All functions take/return autograd tensors so they can sit inside the
+training graph. Numerical-stability deviations from the paper's formulas are
+noted inline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import ops
+from ..autograd.tensor import Tensor
+
+
+def scaled_cosine_error(reconstructed: Tensor, original: Tensor,
+                        nodes: np.ndarray, eta: float) -> Tensor:
+    """Masked-node attribute reconstruction loss (Eq. 4 / 13 / 15 kernel).
+
+    ``mean_i (1 - cos(x̃_i, x_i))^η`` over the masked node subset — the
+    scaled cosine error of GraphMAE, with the paper's scaling factor η.
+    """
+    if nodes.size == 0:
+        return Tensor(0.0)
+    rec = ops.gather_rows(reconstructed, nodes)
+    org = ops.gather_rows(original, nodes)
+    cos = ops.cosine_similarity(rec, org, axis=-1)
+    err = ops.power(ops.clip(ops.sub(1.0, cos), 0.0, 2.0), eta)
+    return ops.mean(err)
+
+
+def masked_edge_loss(decoded: Tensor, masked_edges: np.ndarray,
+                     num_nodes: int, rng: np.random.Generator,
+                     negative_samples: int = 5,
+                     temperature: float = 0.5) -> Tensor:
+    """Masked-edge prediction loss with negative sampling (Eq. 7 / 15).
+
+    For each masked edge ``(v, u)`` the model must rank the true endpoint
+    ``u`` above ``negative_samples`` uniformly drawn non-endpoints ``u'``
+    using the decoded-feature inner product ``g(v, u)``. Deviation from the
+    raw formula: decoded rows are L2-normalised and divided by a temperature
+    before the softmax — raw f-dimensional inner products overflow ``exp``;
+    normalisation keeps the objective identical up to scale.
+    """
+    if masked_edges.size == 0:
+        return Tensor(0.0)
+    masked_edges = np.asarray(masked_edges, dtype=np.int64).reshape(-1, 2)
+    m = masked_edges.shape[0]
+
+    z = ops.row_normalize(decoded)
+    v = ops.gather_rows(z, masked_edges[:, 0])        # (m, f)
+    u = ops.gather_rows(z, masked_edges[:, 1])        # (m, f)
+    negatives = rng.integers(0, num_nodes, size=(m, negative_samples))
+    neg = ops.gather_rows(z, negatives.ravel())       # (m*k, f)
+    neg = ops.reshape(neg, (m, negative_samples, z.shape[1]))
+
+    pos_logit = ops.div(ops.sum(ops.mul(v, u), axis=-1), temperature)      # (m,)
+    v_expanded = ops.reshape(v, (m, 1, z.shape[1]))
+    neg_logit = ops.div(ops.sum(ops.mul(v_expanded, neg), axis=-1), temperature)  # (m, k)
+
+    logits = ops.concat([ops.reshape(pos_logit, (m, 1)), neg_logit], axis=1)
+    log_probs = ops.log_softmax(logits, axis=1)
+    # Cross-entropy with the positive always in column 0.
+    return ops.neg(ops.mean(ops.index(log_probs, (slice(None), 0))))
+
+
+def dual_view_contrastive(z_original: Tensor, z_augmented: Tensor,
+                          rng: np.random.Generator,
+                          temperature: float = 0.5) -> Tensor:
+    """One term of the dual-view contrastive loss (Eq. 17).
+
+    Positive pair: node ``i`` across the two views. Negative pairs: node
+    ``i`` in the original view vs a random other node ``j`` in each view
+    (sampled as a derangement so ``j != i``). Deviation: embeddings are
+    L2-normalised with a temperature for stable exponentials.
+    """
+    n = z_original.shape[0]
+    za = ops.row_normalize(z_original)
+    zb = ops.row_normalize(z_augmented)
+
+    # Derangement: shift a random permutation so j(i) != i.
+    perm = rng.permutation(n)
+    shift = perm[(np.arange(n) + 1) % n]
+    collision = shift == np.arange(n)
+    if np.any(collision):
+        shift[collision] = (shift[collision] + 1) % n
+
+    pos = ops.div(ops.sum(ops.mul(za, zb), axis=-1), temperature)
+    neg_same = ops.div(ops.sum(ops.mul(za, ops.gather_rows(za, shift)), axis=-1),
+                       temperature)
+    neg_cross = ops.div(ops.sum(ops.mul(za, ops.gather_rows(zb, shift)), axis=-1),
+                        temperature)
+
+    m = pos.shape[0]
+    logits = ops.concat([
+        ops.reshape(pos, (m, 1)),
+        ops.reshape(neg_same, (m, 1)),
+        ops.reshape(neg_cross, (m, 1)),
+    ], axis=1)
+    log_probs = ops.log_softmax(logits, axis=1)
+    return ops.neg(ops.mean(ops.index(log_probs, (slice(None), 0))))

@@ -1,0 +1,444 @@
+"""UMGAD: the full model (paper Sec. IV).
+
+Three components trained jointly end-to-end:
+
+1. **Original-view graph reconstruction** (Sec. IV-A): per relation, a
+   GAT-encoder/SGC-decoder GMAE reconstructs masked node attributes (Eq. 1–4)
+   and masked edges (Eq. 5–7); relation importance is fused with learnable
+   weights ``a_r`` (attributes, Eq. 3) and ``b_r`` (structure losses, Eq. 8).
+2. **Augmented-view graph reconstruction** (Sec. IV-B): an attribute-level
+   view built by swapping node attributes (Eq. 10–13) and a subgraph-level
+   view built by RWR subgraph masking (Eq. 14–16), each with SGC-based GMAEs.
+3. **Dual-view contrastive learning** (Sec. IV-C, Eq. 17) between the
+   original-view reconstruction and each augmented-view reconstruction.
+
+The total objective is Eq. 18; anomaly scores follow Eq. 19 and the
+unsupervised threshold Sec. IV-E (see :mod:`repro.core.threshold`).
+
+Documented deviations from the paper (also listed in DESIGN.md):
+
+* The ``K`` mask repeats share encoder/decoder weights (the paper indexes
+  weights by ``(r, k)``); repeats act as mask resampling, which is the
+  standard GraphMAE practice and keeps the parameter count linear in ``R``.
+* Fusion weights ``a_r`` / ``b_r`` are softmax-normalised. Raw weights make
+  Eq. 8 unbounded below (the optimiser could drive ``b_r → -∞``).
+* Contrastive and edge-prediction dot products are computed on
+  L2-normalised vectors with a temperature for numerical stability.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..autograd import ops
+from ..autograd.tensor import Tensor
+from ..detection import BaseDetector
+from ..graphs.masking import attribute_mask, attribute_swap, edge_mask, subgraph_mask
+from ..graphs.multiplex import MultiplexGraph
+from ..nn import Adam, Module, ModuleList, Parameter, init
+from ..utils.rng import ensure_rng
+from ..utils.timer import Timer
+from .config import UMGADConfig
+from .gmae import GMAE
+from .losses import dual_view_contrastive, masked_edge_loss, scaled_cosine_error
+from .scoring import attribute_errors, combine_view_score, structure_errors
+
+
+class _Networks(Module):
+    """Parameter container: per-relation GMAEs + fusion weights."""
+
+    def __init__(self, num_relations: int, num_features: int, cfg: UMGADConfig,
+                 rng: np.random.Generator):
+        super().__init__()
+
+        def bank(kind: str) -> ModuleList:
+            return ModuleList([
+                GMAE(num_features, cfg.hidden_dim, rng, encoder=kind,
+                     encoder_layers=cfg.encoder_layers,
+                     decoder_propagation=cfg.decoder_propagation,
+                     gat_heads=cfg.gat_heads)
+                for _ in range(num_relations)
+            ])
+
+        self.attr = bank("gat")       # original view, attribute GMAE (W_enc1)
+        self.struct = bank("gat")     # original view, structure GMAE (W_enc2)
+        self.attr_aug = bank("sgc")   # attribute-level augmented view (W_enc3)
+        self.sub_aug = bank("sgc")    # subgraph-level augmented view
+        # Learnable relation-fusion weights, initialised from a normal
+        # distribution as in the paper, consumed through a softmax.
+        self.a_raw = Parameter(init.normal((num_relations,), rng, std=0.1),
+                               name="fusion.a")
+        self.b_raw = Parameter(init.normal((num_relations,), rng, std=0.1),
+                               name="fusion.b")
+
+
+class UMGAD(BaseDetector):
+    """Unsupervised Multiplex Graph Anomaly Detection.
+
+    Usage::
+
+        model = UMGAD(UMGADConfig(epochs=50))
+        model.fit(graph)
+        scores = model.decision_scores()
+        predictions = model.predict()          # label-free threshold
+    """
+
+    def __init__(self, config: Optional[UMGADConfig] = None):
+        self.config = config or UMGADConfig()
+        self.networks: Optional[_Networks] = None
+        self.loss_history: List[float] = []
+        self.loss_components: List[Dict[str, float]] = []
+        self.timer = Timer()
+        self._scores: Optional[np.ndarray] = None
+        self._graph: Optional[MultiplexGraph] = None
+        self._rng = ensure_rng(self.config.seed)
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit(self, graph: MultiplexGraph, verbose: bool = False) -> "UMGAD":
+        cfg = self.config
+        self._graph = graph
+        self._rng = ensure_rng(cfg.seed)
+        self.networks = _Networks(graph.num_relations, graph.num_features, cfg,
+                                  self._rng)
+        optimizer = Adam(self.networks.parameters(), lr=cfg.learning_rate,
+                         weight_decay=cfg.weight_decay)
+
+        self.loss_history = []
+        self.loss_components = []
+        best_loss = np.inf
+        stale_epochs = 0
+        for epoch in range(cfg.epochs):
+            with self.timer.measure("epoch"):
+                loss, parts = self._epoch_loss(graph)
+                optimizer.zero_grad()
+                loss.backward()
+                if cfg.grad_clip:
+                    optimizer.clip_grad_norm(cfg.grad_clip)
+                optimizer.step()
+            self.loss_history.append(float(loss.data))
+            self.loss_components.append(parts)
+            if verbose and (epoch % max(1, cfg.epochs // 10) == 0):
+                print(f"epoch {epoch:4d} loss {float(loss.data):.4f} "
+                      + " ".join(f"{k}={v:.3f}" for k, v in parts.items()))
+            if cfg.early_stop_patience:
+                if float(loss.data) < best_loss - cfg.early_stop_min_delta:
+                    best_loss = float(loss.data)
+                    stale_epochs = 0
+                else:
+                    stale_epochs += 1
+                    if stale_epochs >= cfg.early_stop_patience:
+                        if verbose:
+                            print(f"early stop at epoch {epoch} "
+                                  f"(no improvement for {stale_epochs} epochs)")
+                        break
+
+        with self.timer.measure("scoring"):
+            self._scores = self._compute_scores(graph)
+        return self
+
+    # ------------------------------------------------------------------
+    def _relation_list(self, graph: MultiplexGraph):
+        return [graph[name] for name in graph.relation_names]
+
+    def _fusion_weights(self, raw: Parameter) -> Tensor:
+        if self.config.relation_fusion == "uniform":
+            n = raw.data.shape[0]
+            return Tensor(np.full(n, 1.0 / n))
+        return ops.softmax(raw, axis=-1)
+
+    def _fuse(self, recons: List[Tensor], weights: Tensor) -> Tensor:
+        """Eq. 3 / 12: ``Σ_r a_r X^{r}`` with learnable (softmaxed) weights."""
+        fused = None
+        for r, rec in enumerate(recons):
+            term = ops.mul(rec, ops.index(weights, r))
+            fused = term if fused is None else ops.add(fused, term)
+        return fused
+
+    # ------------------------------------------------------------------
+    def _epoch_loss(self, graph: MultiplexGraph) -> Tuple[Tensor, Dict[str, float]]:
+        cfg = self.config
+        rng = self._rng
+        nets = self.networks
+        x = Tensor(graph.x)
+        relations = self._relation_list(graph)
+        n = graph.num_nodes
+
+        a_w = self._fusion_weights(nets.a_raw)
+        b_w = self._fusion_weights(nets.b_raw)
+
+        total = Tensor(0.0)
+        parts: Dict[str, float] = {}
+        z_ma = z_aa = z_sa = None
+
+        want_attr = cfg.mode in ("full", "att")
+        want_struct = cfg.mode in ("full", "str")
+        want_sub = cfg.mode in ("full", "sub", "str")
+
+        # ---------------- Original view (Sec. IV-A) ----------------
+        if cfg.use_original and (want_attr or want_struct):
+            loss_attr = Tensor(0.0)
+            loss_struct = Tensor(0.0)
+            fused_accum = None
+            for _k in range(cfg.mask_repeats):
+                if want_attr:
+                    mask = (attribute_mask(n, cfg.mask_ratio, rng).nodes
+                            if cfg.use_mask else np.empty(0, dtype=np.int64))
+                    recons = [nets.attr[r].forward(x, rel, masked_nodes=mask)
+                              for r, rel in enumerate(relations)]
+                    fused = self._fuse(recons, a_w)
+                    target_nodes = mask if cfg.use_mask else np.arange(n)
+                    loss_attr = ops.add(
+                        loss_attr,
+                        scaled_cosine_error(fused, x, target_nodes, cfg.eta))
+                    fused_accum = fused if fused_accum is None else ops.add(fused_accum, fused)
+                if want_struct:
+                    for r, rel in enumerate(relations):
+                        if cfg.use_mask:
+                            em = edge_mask(rel, cfg.mask_ratio, rng)
+                            remaining, targets = em.remaining, em.masked_edges
+                        else:
+                            remaining = rel
+                            idx = rng.choice(max(rel.num_edges, 1),
+                                             size=max(1, int(rel.num_edges * cfg.mask_ratio)))
+                            targets = rel.edges[idx % max(rel.num_edges, 1)] \
+                                if rel.num_edges else np.empty((0, 2), dtype=np.int64)
+                        decoded = nets.struct[r].forward(x, remaining)
+                        rel_loss = masked_edge_loss(
+                            decoded, targets, n, rng,
+                            negative_samples=cfg.negative_samples,
+                            temperature=cfg.contrast_temperature)
+                        loss_struct = ops.add(
+                            loss_struct, ops.mul(rel_loss, ops.index(b_w, r)))
+            if want_attr and want_struct:
+                orig = ops.add(ops.mul(loss_attr, cfg.alpha),
+                               ops.mul(loss_struct, 1.0 - cfg.alpha))
+            elif want_attr:
+                orig = loss_attr
+            else:
+                orig = loss_struct
+            total = ops.add(total, orig)
+            parts["L_O"] = float(orig.data)
+            if fused_accum is not None:
+                z_ma = ops.div(fused_accum, float(cfg.mask_repeats))
+
+        # -------- Attribute-level augmented view (Sec. IV-B1) --------
+        if cfg.use_augmented and cfg.use_attr_aug and want_attr:
+            loss_aug = Tensor(0.0)
+            fused_accum = None
+            for _k in range(cfg.mask_repeats):
+                x_swapped, swapped = attribute_swap(graph.x, cfg.swap_ratio, rng)
+                x_aug = Tensor(x_swapped)
+                mask = swapped if cfg.use_mask else np.empty(0, dtype=np.int64)
+                recons = [nets.attr_aug[r].forward(x_aug, rel, masked_nodes=mask)
+                          for r, rel in enumerate(relations)]
+                fused = self._fuse(recons, a_w)
+                # Eq. 13: reconstruction is compared against the ORIGINAL
+                # attributes of the swapped nodes.
+                loss_aug = ops.add(
+                    loss_aug, scaled_cosine_error(fused, x, swapped, cfg.eta))
+                fused_accum = fused if fused_accum is None else ops.add(fused_accum, fused)
+            total = ops.add(total, ops.mul(loss_aug, cfg.lam))
+            parts["L_A_Aug"] = float(loss_aug.data)
+            z_aa = ops.div(fused_accum, float(cfg.mask_repeats))
+
+        # -------- Subgraph-level augmented view (Sec. IV-B2) --------
+        if cfg.use_augmented and cfg.use_subgraph_aug and want_sub:
+            loss_sa = Tensor(0.0)
+            loss_ss = Tensor(0.0)
+            fused_accum = None
+            for _k in range(cfg.mask_repeats):
+                recons = []
+                union_nodes: List[np.ndarray] = []
+                for r, rel in enumerate(relations):
+                    sm = subgraph_mask(rel, cfg.num_subgraphs, cfg.subgraph_size,
+                                       rng, restart_prob=cfg.rwr_restart)
+                    if cfg.use_mask:
+                        masked_nodes = sm.nodes
+                        remaining = sm.remaining
+                    else:
+                        masked_nodes = np.empty(0, dtype=np.int64)
+                        remaining = rel
+                    decoded = nets.sub_aug[r].forward(x, remaining,
+                                                      masked_nodes=masked_nodes)
+                    recons.append(decoded)
+                    union_nodes.append(sm.nodes)
+                    if cfg.mode != "att":
+                        rel_loss = masked_edge_loss(
+                            decoded, sm.masked_edges, n, rng,
+                            negative_samples=cfg.negative_samples,
+                            temperature=cfg.contrast_temperature)
+                        loss_ss = ops.add(
+                            loss_ss, ops.mul(rel_loss, ops.index(b_w, r)))
+                fused = self._fuse(recons, a_w)
+                nodes = np.unique(np.concatenate(union_nodes))
+                loss_sa = ops.add(
+                    loss_sa, scaled_cosine_error(fused, x, nodes, cfg.eta))
+                fused_accum = fused if fused_accum is None else ops.add(fused_accum, fused)
+            sub = ops.add(ops.mul(loss_sa, cfg.beta),
+                          ops.mul(loss_ss, 1.0 - cfg.beta))
+            total = ops.add(total, ops.mul(sub, cfg.mu))
+            parts["L_S_Aug"] = float(sub.data)
+            z_sa = ops.div(fused_accum, float(cfg.mask_repeats))
+
+        # -------- Dual-view contrastive learning (Sec. IV-C) --------
+        if cfg.use_contrastive and z_ma is not None and (z_aa is not None
+                                                         or z_sa is not None):
+            loss_cl = Tensor(0.0)
+            if z_aa is not None:
+                loss_cl = ops.add(loss_cl, dual_view_contrastive(
+                    z_ma, z_aa, rng, temperature=cfg.contrast_temperature))
+            if z_sa is not None:
+                loss_cl = ops.add(loss_cl, dual_view_contrastive(
+                    z_ma, z_sa, rng, temperature=cfg.contrast_temperature))
+            total = ops.add(total, ops.mul(loss_cl, cfg.theta))
+            parts["L_CL"] = float(loss_cl.data)
+
+        return total, parts
+
+    # ------------------------------------------------------------------
+    # Scoring (Eq. 19)
+    # ------------------------------------------------------------------
+    def _eval_fusion_weights(self) -> np.ndarray:
+        raw = self.networks.a_raw.data
+        if self.config.relation_fusion == "uniform":
+            return np.full(raw.shape[0], 1.0 / raw.shape[0])
+        weights = np.exp(raw - raw.max())
+        return weights / weights.sum()
+
+    def _fused_eval_recon(self, bank: ModuleList, graph: MultiplexGraph):
+        """Mask-free reconstruction pass; returns (fused, per-relation)."""
+        x = Tensor(graph.x)
+        relations = self._relation_list(graph)
+        weights = self._eval_fusion_weights()
+        per_rel = []
+        fused = np.zeros_like(graph.x)
+        for r, rel in enumerate(relations):
+            rec = bank[r].forward(x, rel).data
+            per_rel.append(rec)
+            fused = fused + weights[r] * rec
+        return fused, per_rel
+
+    def _masked_eval_recon(self, bank: ModuleList, graph: MultiplexGraph):
+        """Imputation-style reconstruction for scoring.
+
+        Nodes are partitioned into ``ceil(1/r_m)`` disjoint groups; each
+        group is [MASK]ed in turn and its rows are reconstructed from
+        context only. This matches the training distribution of the GMAE —
+        an unmasked pass lets the autoencoder copy its input, flattening
+        the anomaly signal. Falls back to the unmasked pass when masking is
+        ablated (w/o M), which is exactly that variant's point.
+        """
+        if not self.config.use_mask:
+            return self._fused_eval_recon(graph=graph, bank=bank)
+        x = Tensor(graph.x)
+        relations = self._relation_list(graph)
+        weights = self._eval_fusion_weights()
+        n = graph.num_nodes
+        num_groups = max(2, int(np.ceil(1.0 / self.config.mask_ratio)))
+        perm = self._rng.permutation(n)
+        groups = np.array_split(perm, num_groups)
+
+        per_rel = [np.zeros_like(graph.x) for _ in relations]
+        for group in groups:
+            if group.size == 0:
+                continue
+            for r, rel in enumerate(relations):
+                rec = bank[r].forward(x, rel, masked_nodes=group).data
+                per_rel[r][group] = rec[group]
+
+        # Degree-aware fusion: a masked node can only be imputed from
+        # relations where it actually has neighbors — fusing in a
+        # neighbor-less relation's output injects pure mask-token noise
+        # (this dominates on sparse graphs like DG-Fin). Rows with no
+        # neighbors anywhere fall back to the unweighted mean so their
+        # score is driven by the structure term instead.
+        avail = np.stack([rel.degrees() > 0 for rel in relations], axis=1)
+        w_matrix = avail * weights[None, :]
+        row_sum = w_matrix.sum(axis=1, keepdims=True)
+        no_context = row_sum.ravel() <= 0
+        w_matrix[no_context] = 1.0 / len(relations)
+        row_sum = w_matrix.sum(axis=1, keepdims=True)
+        w_matrix = w_matrix / row_sum
+
+        fused = np.zeros_like(graph.x)
+        for r in range(len(relations)):
+            fused += w_matrix[:, r:r + 1] * per_rel[r]
+        return fused, per_rel
+
+    def _view_score(self, graph: MultiplexGraph, fused: np.ndarray,
+                    per_rel: List[np.ndarray], include_attr: bool,
+                    include_struct: bool) -> np.ndarray:
+        cfg = self.config
+        relations = self._relation_list(graph)
+        attr_err = None
+        if include_attr:
+            attr_err = attribute_errors(fused, graph.x,
+                                        metric=cfg.attr_score_metric)
+            # A node with no neighbors in any relation has no imputation
+            # context: its "reconstruction" is mask-token noise, not
+            # evidence. Neutralise those to the median so isolated normal
+            # nodes (common on sparse graphs) don't flood the top ranks.
+            has_context = np.zeros(graph.num_nodes, dtype=bool)
+            for rel in relations:
+                has_context |= rel.degrees() > 0
+            if has_context.any() and (~has_context).any():
+                attr_err[~has_context] = np.median(attr_err[has_context])
+        struct_errs = []
+        if include_struct:
+            for rel, decoded in zip(relations, per_rel):
+                struct_errs.append(structure_errors(
+                    decoded, rel, cfg.structure_score_mode, self._rng,
+                    negatives_per_node=cfg.structure_score_negatives,
+                    exact_max_nodes=cfg.exact_score_max_nodes))
+        return combine_view_score(attr_err, struct_errs, cfg.epsilon)
+
+    def _compute_scores(self, graph: MultiplexGraph) -> np.ndarray:
+        cfg = self.config
+        nets = self.networks
+        include_attr = cfg.mode in ("full", "att")
+        include_struct = cfg.mode in ("full", "str", "sub")
+        views = []
+
+        if cfg.use_original and cfg.mode != "sub":
+            fused, _ = self._masked_eval_recon(nets.attr, graph)
+            if cfg.mode in ("full", "str"):
+                # structure term from the structure-GMAE's decoded features
+                # (full-graph decode: edge prediction needs full context)
+                _, per_rel_struct = self._fused_eval_recon(nets.struct, graph)
+            else:
+                _, per_rel_struct = self._fused_eval_recon(nets.attr, graph)
+            views.append(self._view_score(
+                graph, fused, per_rel_struct, include_attr, include_struct))
+
+        if cfg.use_augmented and cfg.use_attr_aug and cfg.mode in ("full", "att"):
+            fused, per_rel = self._masked_eval_recon(nets.attr_aug, graph)
+            if include_struct and cfg.mode == "full":
+                _, per_rel = self._fused_eval_recon(nets.attr_aug, graph)
+            views.append(self._view_score(
+                graph, fused, per_rel, include_attr,
+                include_struct and cfg.mode == "full"))
+
+        if cfg.use_augmented and cfg.use_subgraph_aug and cfg.mode in (
+                "full", "sub", "str"):
+            fused, _ = self._masked_eval_recon(nets.sub_aug, graph)
+            _, per_rel = self._fused_eval_recon(nets.sub_aug, graph)
+            views.append(self._view_score(
+                graph, fused, per_rel, include_attr, include_struct))
+
+        if not views:
+            raise RuntimeError(
+                "configuration disables every view; nothing to score")
+        return np.mean(views, axis=0)
+
+    # ------------------------------------------------------------------
+    @property
+    def relation_importance(self) -> Dict[str, float]:
+        """Learned attribute-fusion weights per relation (softmaxed a_r)."""
+        if self.networks is None or self._graph is None:
+            raise RuntimeError("fit() the model first")
+        weights = self._eval_fusion_weights()
+        return dict(zip(self._graph.relation_names, weights.tolist()))

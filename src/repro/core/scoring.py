@@ -1,0 +1,158 @@
+"""Anomaly scoring (Eq. 19) — attribute and structure reconstruction errors.
+
+Per view ``* ∈ {O, A_Aug, S_Aug}`` and node ``i``:
+
+``S_*(i) = ε · ||x̃_*(i) − x(i)||₂ + (1 − ε) · (1/R) Σ_r err(ζ̃ʳ_*(i), ζʳ(i))``
+
+where the structure error compares the reconstructed adjacency row
+``ζ̃ʳ(i) = σ(z_i · z_jᵀ)`` against the observed binary row. (The paper's
+norm notation is internally swapped — its text defines ``||·||₁`` as the
+Euclidean norm and ``||·||₂`` as the L1 norm; we use Euclidean for the
+attribute residual and mean absolute error for the structure row, matching
+the intent.)
+
+Two structure-error implementations:
+
+* **exact** — full ``n × n`` reconstruction, computed in row blocks;
+* **sampled** — per node, only its observed neighbors plus ``q`` sampled
+  non-neighbors are evaluated (the RQ3 large-graph path).
+
+Deviation noted in DESIGN.md: each error term is min–max normalised across
+nodes before the ε-mix so the two terms are commensurable (the common
+DOMINANT-style practice; the paper's ε is otherwise scale-dependent).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graphs.graph import RelationGraph
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+
+
+def minmax_normalize(values: np.ndarray) -> np.ndarray:
+    """Scale to [0, 1]; constant input maps to zeros."""
+    values = np.asarray(values, dtype=np.float64)
+    lo, hi = values.min(), values.max()
+    if hi - lo < 1e-12:
+        return np.zeros_like(values)
+    return (values - lo) / (hi - lo)
+
+
+def attribute_errors(reconstructed: np.ndarray, original: np.ndarray,
+                     metric: str = "cosine") -> np.ndarray:
+    """Per-node attribute residual.
+
+    ``metric="euclidean"`` is the literal Eq. 19 (``||x̃(i) − x(i)||₂``);
+    ``metric="cosine"`` (default) is ``1 − cos(x̃(i), x(i))`` — the same
+    residual the training loss (Eq. 4) minimises. The cosine form is
+    scale-invariant, which matters for camouflaged anomalies whose feature
+    *norms* shrink toward the global mean: Euclidean error under-scores
+    exactly those nodes (documented deviation, DESIGN.md §1).
+    """
+    if metric == "euclidean":
+        return np.linalg.norm(reconstructed - original, axis=1)
+    if metric == "cosine":
+        num = (reconstructed * original).sum(axis=1)
+        den = (np.linalg.norm(reconstructed, axis=1)
+               * np.linalg.norm(original, axis=1) + 1e-12)
+        return 1.0 - num / den
+    raise ValueError(f"unknown attribute error metric {metric!r}")
+
+
+#: inverse-temperature applied to normalised inner products before the
+#: sigmoid — cosine logits live in [-1, 1], where the raw sigmoid is stuck
+#: in [0.27, 0.73] and every non-edge looks half-wrong; sharpening matches
+#: the temperature the structure loss trains with.
+LOGIT_SCALE = 4.0
+
+
+def structure_errors_exact(decoded: np.ndarray, graph: RelationGraph,
+                           block_size: int = 1024) -> np.ndarray:
+    """Mean absolute error between ``σ(z zᵀ)`` rows and adjacency rows."""
+    n = graph.num_nodes
+    z = decoded / (np.linalg.norm(decoded, axis=1, keepdims=True) + 1e-12)
+    adj = graph.adjacency()
+    errors = np.empty(n, dtype=np.float64)
+    for start in range(0, n, block_size):
+        stop = min(start + block_size, n)
+        recon = _sigmoid(LOGIT_SCALE * (z[start:stop] @ z.T))
+        dense_rows = np.asarray(adj[start:stop].todense())
+        errors[start:stop] = np.abs(recon - dense_rows).mean(axis=1)
+    return errors
+
+
+def structure_errors_sampled(decoded: np.ndarray, graph: RelationGraph,
+                             rng: np.random.Generator,
+                             negatives_per_node: int = 20) -> np.ndarray:
+    """Neighbor + sampled-negative estimate of the structure row error.
+
+    For node ``i``: error over its observed neighbors (should reconstruct
+    to ~1) plus ``negatives_per_node`` random non-edges (should be ~0),
+    averaged. Unbiased up to the negative subsample, O(E + n·q) total.
+    """
+    n = graph.num_nodes
+    z = decoded / (np.linalg.norm(decoded, axis=1, keepdims=True) + 1e-12)
+    adj = graph.adjacency()
+
+    pos_err = np.zeros(n, dtype=np.float64)
+    deg = np.zeros(n, dtype=np.float64)
+    if graph.num_edges:
+        src, dst = graph.directed_pairs()
+        logits = LOGIT_SCALE * np.einsum("ij,ij->i", z[src], z[dst])
+        per_edge = np.abs(_sigmoid(logits) - 1.0)
+        np.add.at(pos_err, src, per_edge)
+        np.add.at(deg, src, 1.0)
+
+    neg_idx = rng.integers(0, n, size=(n, negatives_per_node))
+    neg_logits = LOGIT_SCALE * np.einsum("ij,ikj->ik", z, z[neg_idx])
+    neg_pred = _sigmoid(neg_logits)
+    # Sampled pairs that happen to be true edges contribute |p - 1| instead.
+    rows = np.repeat(np.arange(n), negatives_per_node)
+    is_edge = np.asarray(adj[rows, neg_idx.ravel()]).ravel().reshape(n, negatives_per_node)
+    neg_err = np.abs(neg_pred - is_edge).sum(axis=1)
+
+    total = pos_err + neg_err
+    count = deg + negatives_per_node
+    return total / count
+
+
+def structure_errors(decoded: np.ndarray, graph: RelationGraph,
+                     mode: str, rng: np.random.Generator,
+                     negatives_per_node: int = 20,
+                     exact_max_nodes: int = 4000) -> np.ndarray:
+    """Dispatch between exact and sampled structure error."""
+    if mode == "auto":
+        mode = "exact" if graph.num_nodes <= exact_max_nodes else "sampled"
+    if mode == "exact":
+        return structure_errors_exact(decoded, graph)
+    if mode == "sampled":
+        return structure_errors_sampled(decoded, graph, rng,
+                                        negatives_per_node=negatives_per_node)
+    raise ValueError(f"unknown structure score mode {mode!r}")
+
+
+def combine_view_score(attr_err: Optional[np.ndarray],
+                       struct_errs: Iterable[np.ndarray],
+                       epsilon: float) -> np.ndarray:
+    """ε-mix of normalised attribute and (relation-averaged) structure error."""
+    struct_errs = list(struct_errs)
+    parts = []
+    if attr_err is not None:
+        parts.append(epsilon * minmax_normalize(attr_err))
+    if struct_errs:
+        mean_struct = np.mean([minmax_normalize(e) for e in struct_errs], axis=0)
+        parts.append((1.0 - epsilon) * mean_struct)
+    if not parts:
+        raise ValueError("no score components to combine")
+    if len(parts) == 1:
+        # Single-term variants (Fig. 6 Att/Str): drop the ε weighting so the
+        # score is the normalised error itself.
+        return minmax_normalize(parts[0])
+    return np.sum(parts, axis=0)

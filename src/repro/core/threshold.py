@@ -1,0 +1,142 @@
+"""Unsupervised anomaly-score threshold selection (paper Sec. IV-E).
+
+The paper's headline practical contribution: given only the sorted anomaly
+scores, pick the threshold at the inflection point where the descending
+score curve transitions from steep (anomalies) to flat (normal nodes) —
+
+1. sort scores descending (Eq. 20 context),
+2. moving-average smooth with window ``w = max(⌊0.0001·|V|⌋, 5)`` (Eq. 20),
+3. first-order differences ``Δ1`` (Eq. 21), second-order ``Δ2`` (Eq. 22),
+4. threshold index ``T = argmax |Δ2|`` (Eq. 23); among ties, pick the
+   candidate whose smoothed score is closest to the tail score ``s̄(|V|)``.
+
+No ground-truth information (anomaly count or labels) is used anywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ThresholdResult:
+    """Outcome of the inflection-point threshold selection.
+
+    Attributes
+    ----------
+    threshold:
+        Score value; nodes with ``score >= threshold`` are anomalous.
+    index:
+        Inflection position ``T`` in the sorted (descending) score order —
+        i.e. the number of nodes flagged anomalous is ``index + 1``.
+    num_anomalies:
+        Number of nodes at or above the threshold.
+    window:
+        The smoothing window ``w`` that was used.
+    smoothed:
+        The smoothed descending score sequence (for Fig. 2-style plots).
+    """
+
+    threshold: float
+    index: int
+    num_anomalies: int
+    window: int
+    smoothed: np.ndarray
+
+
+def default_window(num_scores: int) -> int:
+    """Paper guideline: ``w = max(⌊0.0001 |V|⌋, 5)``."""
+    return max(int(0.0001 * num_scores), 5)
+
+
+def moving_average(values: np.ndarray, window: int) -> np.ndarray:
+    """Forward moving average: ``out[i] = mean(values[i:i+window])`` (Eq. 20)."""
+    values = np.asarray(values, dtype=np.float64)
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if window > values.size:
+        raise ValueError(
+            f"window {window} larger than sequence length {values.size}"
+        )
+    cumsum = np.concatenate([[0.0], np.cumsum(values)])
+    return (cumsum[window:] - cumsum[:-window]) / window
+
+
+def select_threshold(scores: np.ndarray, window: Optional[int] = None,
+                     tie_tolerance: float = 0.5) -> ThresholdResult:
+    """Select an anomaly-score threshold without ground truth (Eqs. 20–23).
+
+    Parameters
+    ----------
+    scores:
+        Anomaly scores, one per node (any order; higher = more anomalous).
+    window:
+        Smoothing window ``w``; defaults to the paper's guideline.
+    tie_tolerance:
+        The paper's Eq. 23 tie-break ("if there exist several selectable
+        points") is applied to all points whose ``|Δ2|`` is within
+        ``tie_tolerance`` of the maximum — among those near-maximal
+        curvature points, the one whose smoothed score is closest to the
+        tail is chosen. A strict argmax (``tie_tolerance=1.0``-only-exact)
+        is recovered with ``tie_tolerance=1.0``.
+
+    Returns
+    -------
+    ThresholdResult
+        Threshold value and diagnostics. Nodes scoring ``>= threshold``
+        should be predicted anomalous.
+    """
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    n = scores.size
+    if n < 8:
+        raise ValueError(f"need at least 8 scores for inflection detection, got {n}")
+    if window is None:
+        window = default_window(n)
+    window = min(window, n - 3)  # keep enough room for two differences
+
+    ordered = np.sort(scores)[::-1]
+    smoothed = moving_average(ordered, window)
+
+    delta1 = smoothed[:-1] - smoothed[1:]          # Eq. 21
+    delta2 = delta1[:-1] - delta1[1:]              # Eq. 22
+    if delta2.size == 0:
+        raise ValueError("score sequence too short after smoothing")
+
+    magnitude = np.abs(delta2)
+    # Practical guard (documented deviation): anomalies are a minority by
+    # definition, so the inflection is searched in the first half of the
+    # ranked curve; without this, late-curve curvature (score floor
+    # effects) can push the threshold below almost every node.
+    search_end = max(int(0.5 * magnitude.size), 1)
+    searchable = magnitude[:search_end]
+    best = searchable.max()
+    # Eq. 23 with the paper's tie-break: among (near-)maximisers, choose
+    # the one whose smoothed score is closest to the tail of the curve —
+    # i.e. the last point where the decline is still steep.
+    if not 0.0 < tie_tolerance <= 1.0:
+        raise ValueError(f"tie_tolerance must be in (0, 1], got {tie_tolerance}")
+    candidates = np.flatnonzero(searchable >= tie_tolerance * best)
+    tail = smoothed[-1]
+    t_index = int(candidates[np.argmin(np.abs(smoothed[candidates] - tail))])
+
+    threshold = float(smoothed[t_index])
+    num_anomalies = int(np.sum(scores >= threshold))
+    return ThresholdResult(
+        threshold=threshold,
+        index=t_index,
+        num_anomalies=num_anomalies,
+        window=window,
+        smoothed=smoothed,
+    )
+
+
+def predict_with_threshold(scores: np.ndarray,
+                           result: Optional[ThresholdResult] = None) -> np.ndarray:
+    """0/1 predictions from the inflection-point threshold."""
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    if result is None:
+        result = select_threshold(scores)
+    return (scores >= result.threshold).astype(np.int64)

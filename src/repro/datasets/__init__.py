@@ -1,0 +1,21 @@
+"""Evaluation datasets (synthetic stand-ins for the paper's six datasets)."""
+
+from .registry import (
+    LARGE_DATASETS,
+    PAPER_STATS,
+    SMALL_DATASETS,
+    Dataset,
+    DatasetInfo,
+    available_datasets,
+    load_dataset,
+)
+
+__all__ = [
+    "Dataset",
+    "DatasetInfo",
+    "LARGE_DATASETS",
+    "PAPER_STATS",
+    "SMALL_DATASETS",
+    "available_datasets",
+    "load_dataset",
+]

@@ -1,0 +1,67 @@
+"""The detector contract shared by UMGAD and every baseline.
+
+A detector is fit on a :class:`~repro.graphs.multiplex.MultiplexGraph`
+*without labels*, produces per-node anomaly scores (higher = more
+anomalous), and can turn scores into 0/1 predictions under either of the
+paper's two protocols:
+
+* **unsupervised** — the inflection-point threshold of Sec. IV-E
+  (no ground-truth information), used for Table II/III;
+* **ground-truth leakage** — top-``k`` with the known anomaly count,
+  used for Table V.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from .graphs.multiplex import MultiplexGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
+    from .core.threshold import ThresholdResult
+
+
+class BaseDetector:
+    """Abstract unsupervised graph anomaly detector."""
+
+    #: set by subclasses once :meth:`fit` finishes
+    _scores: Optional[np.ndarray] = None
+
+    def fit(self, graph: MultiplexGraph) -> "BaseDetector":  # pragma: no cover
+        raise NotImplementedError
+
+    def decision_scores(self) -> np.ndarray:
+        """Per-node anomaly scores from the last :meth:`fit` call."""
+        if self._scores is None:
+            raise RuntimeError(
+                f"{type(self).__name__}.decision_scores() called before fit()"
+            )
+        return self._scores
+
+    # ------------------------------------------------------------------
+    def threshold(self, window: Optional[int] = None) -> "ThresholdResult":
+        """Unsupervised inflection-point threshold over the fitted scores."""
+        from .core.threshold import select_threshold
+
+        return select_threshold(self.decision_scores(), window=window)
+
+    def predict(self, window: Optional[int] = None) -> np.ndarray:
+        """0/1 predictions under the real-unsupervised protocol."""
+        from .core.threshold import select_threshold
+
+        scores = self.decision_scores()
+        result = select_threshold(scores, window=window)
+        return (scores >= result.threshold).astype(np.int64)
+
+    def predict_with_known_count(self, num_anomalies: int) -> np.ndarray:
+        """0/1 predictions under the ground-truth-leakage protocol."""
+        from .eval.metrics import predictions_from_topk
+
+        return predictions_from_topk(self.decision_scores(), num_anomalies)
+
+    def fit_predict(self, graph: MultiplexGraph,
+                    window: Optional[int] = None) -> np.ndarray:
+        self.fit(graph)
+        return self.predict(window=window)

@@ -1,0 +1,33 @@
+"""Evaluation: metrics, protocols, and the multi-seed experiment runner."""
+
+from .metrics import (
+    binary_f1,
+    evaluate_scores,
+    macro_f1,
+    precision_at_k,
+    predictions_from_topk,
+    roc_auc,
+)
+from .protocols import (
+    PROTOCOLS,
+    EvalResult,
+    evaluate_gt_leakage,
+    evaluate_unsupervised,
+)
+from .runner import RunResult, format_table, run_detector
+
+__all__ = [
+    "EvalResult",
+    "PROTOCOLS",
+    "RunResult",
+    "binary_f1",
+    "evaluate_gt_leakage",
+    "evaluate_scores",
+    "evaluate_unsupervised",
+    "format_table",
+    "macro_f1",
+    "precision_at_k",
+    "predictions_from_topk",
+    "roc_auc",
+    "run_detector",
+]

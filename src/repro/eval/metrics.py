@@ -1,0 +1,100 @@
+"""Detection metrics: AUC, Macro-F1, precision@k.
+
+Implemented from first principles on numpy (no sklearn offline):
+AUC uses the Mann–Whitney rank statistic with tie correction, Macro-F1
+averages per-class F1 over {normal, anomalous}.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+
+def _rankdata(values: np.ndarray) -> np.ndarray:
+    """Average ranks (1-based) with tie handling, like scipy.stats.rankdata."""
+    values = np.asarray(values, dtype=np.float64)
+    order = np.argsort(values, kind="mergesort")
+    ranks = np.empty(values.size, dtype=np.float64)
+    sorted_vals = values[order]
+    # Identify runs of equal values and assign their average rank.
+    boundaries = np.flatnonzero(np.diff(sorted_vals) != 0) + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries, [values.size]])
+    for s, e in zip(starts, ends):
+        ranks[order[s:e]] = 0.5 * (s + 1 + e)
+    return ranks
+
+
+def roc_auc(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve via the rank-sum formulation.
+
+    ``labels`` are 0/1 (1 = anomaly), ``scores`` are real-valued anomaly
+    scores where higher means more anomalous.
+    """
+    labels = np.asarray(labels).astype(bool)
+    scores = np.asarray(scores, dtype=np.float64)
+    if labels.shape != scores.shape:
+        raise ValueError(f"shape mismatch: labels {labels.shape}, scores {scores.shape}")
+    n_pos = int(labels.sum())
+    n_neg = labels.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("AUC undefined: need both classes present")
+    ranks = _rankdata(scores)
+    rank_sum = ranks[labels].sum()
+    return float((rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg))
+
+
+def binary_f1(labels: np.ndarray, predictions: np.ndarray, positive: int = 1) -> float:
+    """F1 of one class."""
+    labels = np.asarray(labels)
+    predictions = np.asarray(predictions)
+    tp = int(np.sum((predictions == positive) & (labels == positive)))
+    fp = int(np.sum((predictions == positive) & (labels != positive)))
+    fn = int(np.sum((predictions != positive) & (labels == positive)))
+    if tp == 0:
+        return 0.0
+    precision = tp / (tp + fp)
+    recall = tp / (tp + fn)
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def macro_f1(labels: np.ndarray, predictions: np.ndarray) -> float:
+    """Unweighted mean of the anomaly-class and normal-class F1 scores."""
+    return 0.5 * (binary_f1(labels, predictions, positive=1)
+                  + binary_f1(labels, predictions, positive=0))
+
+
+def precision_at_k(labels: np.ndarray, scores: np.ndarray, k: int) -> float:
+    """Fraction of true anomalies among the top-``k`` scored nodes."""
+    labels = np.asarray(labels)
+    scores = np.asarray(scores, dtype=np.float64)
+    k = min(int(k), scores.size)
+    if k <= 0:
+        raise ValueError("k must be positive")
+    top = np.argsort(-scores, kind="mergesort")[:k]
+    return float(labels[top].mean())
+
+
+def predictions_from_topk(scores: np.ndarray, k: int) -> np.ndarray:
+    """0/1 predictions marking the ``k`` highest-scoring nodes as anomalies.
+
+    This is the *ground-truth-leakage* thresholding the paper critiques
+    (Table V): ``k`` is taken from the known anomaly count.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    predictions = np.zeros(scores.size, dtype=np.int64)
+    if k > 0:
+        top = np.argsort(-scores, kind="mergesort")[:min(k, scores.size)]
+        predictions[top] = 1
+    return predictions
+
+
+def evaluate_scores(labels: np.ndarray, scores: np.ndarray,
+                    predictions: np.ndarray) -> Dict[str, float]:
+    """Bundle the paper's two headline metrics for a scored detection."""
+    return {
+        "auc": roc_auc(labels, scores),
+        "macro_f1": macro_f1(labels, predictions),
+    }

@@ -1,0 +1,64 @@
+"""Figure 2 — ranked anomaly-score curves and inflection points.
+
+For UMGAD and the best-performing baselines, sort the anomaly scores
+descending and report (a) the curve itself (downsampled series), (b) the
+inflection index the threshold strategy picks, and (c) the true anomaly
+count. The paper's claim: UMGAD's inflection lands closest to the truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.threshold import select_threshold
+from ..datasets import SMALL_DATASETS
+from .common import ExperimentProfile, baseline_factory, get_dataset, umgad_factory
+
+#: the best baselines the paper plots per scale
+SMALL_BASELINES = ("ADA-GAD", "TAM", "GADAM", "AnomMAN")
+LARGE_BASELINES = ("ADA-GAD", "GRADATE", "GADAM", "DualGAD")
+
+
+def run(profile: ExperimentProfile,
+        datasets: Optional[List[str]] = None,
+        curve_points: int = 50) -> List[Dict]:
+    datasets = list(datasets or SMALL_DATASETS)
+    rows: List[Dict] = []
+    for ds_name in datasets:
+        dataset = get_dataset(ds_name, profile)
+        baselines = (LARGE_BASELINES if ds_name in ("dgfin", "tsocial")
+                     else SMALL_BASELINES)
+        methods = {"UMGAD": umgad_factory(ds_name, profile)}
+        methods.update({m: baseline_factory(m, profile) for m in baselines})
+        for method, factory in methods.items():
+            detector = factory(profile.seeds[0])
+            detector.fit(dataset.graph)
+            scores = np.sort(detector.decision_scores())[::-1]
+            result = select_threshold(scores)
+            idx = np.linspace(0, scores.size - 1, curve_points).astype(int)
+            rows.append({
+                "dataset": ds_name,
+                "method": method,
+                "curve_x": idx.tolist(),
+                "curve_y": scores[idx].tolist(),
+                "inflection_index": result.index,
+                "num_flagged": result.num_anomalies,
+                "true_anomalies": dataset.num_anomalies,
+            })
+    return rows
+
+
+def render(rows: List[Dict]) -> str:
+    lines = [
+        f"{'dataset':10s} {'method':10s} {'flagged@inflection':>19s} "
+        f"{'true anomalies':>15s} {'|flagged-true|':>15s}"
+    ]
+    for r in rows:
+        gap = abs(r["num_flagged"] - r["true_anomalies"])
+        lines.append(
+            f"{r['dataset']:10s} {r['method']:10s} {r['num_flagged']:19d} "
+            f"{r['true_anomalies']:15d} {gap:15d}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Table I — dataset statistics (paper vs this repo's scaled stand-ins)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..datasets import PAPER_STATS, available_datasets
+from .common import ExperimentProfile, get_dataset
+
+
+def run(profile: ExperimentProfile) -> List[Dict]:
+    """One row per (dataset, relation): paper count vs generated count."""
+    rows: List[Dict] = []
+    for name in available_datasets():
+        ds = get_dataset(name, profile)
+        paper = PAPER_STATS[name]
+        for rel, paper_edges in paper["relations"].items():
+            rows.append({
+                "dataset": name,
+                "relation": rel,
+                "paper_nodes": paper["nodes"],
+                "repo_nodes": ds.info.num_nodes,
+                "paper_edges": paper_edges,
+                "repo_edges": ds.info.relation_edges[rel],
+                "paper_anomalies": paper["anomalies"],
+                "repo_anomalies": ds.num_anomalies,
+                "kind": paper["kind"],
+            })
+    return rows
+
+
+def render(rows: List[Dict]) -> str:
+    lines = [
+        f"{'dataset':10s} {'relation':8s} {'paper nodes':>12s} {'repo nodes':>11s} "
+        f"{'paper edges':>12s} {'repo edges':>11s} {'paper anom':>11s} {'repo anom':>10s}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['dataset']:10s} {r['relation']:8s} {r['paper_nodes']:12,d} "
+            f"{r['repo_nodes']:11,d} {r['paper_edges']:12,d} {r['repo_edges']:11,d} "
+            f"{r['paper_anomalies']:11,d} {r['repo_anomalies']:10,d}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,143 @@
+"""Single-relation graph: the building block of a multiplex graph.
+
+A :class:`RelationGraph` stores one relation's undirected edge set over a
+shared node universe. Edges are canonical unique pairs ``(u < v)``; message
+passing uses the symmetrised directed view (both directions). Sparse
+adjacency and normalised propagators are built lazily and cached — graphs
+are treated as immutable once constructed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def canonical_edges(edges: np.ndarray, num_nodes: int) -> np.ndarray:
+    """Deduplicate an ``(E, 2)`` edge array into canonical undirected form.
+
+    Self-loops are dropped (propagators add their own), duplicates and
+    reversed duplicates collapse to one entry, and the result is sorted for
+    deterministic downstream sampling.
+    """
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    if edges.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    if edges.min() < 0 or edges.max() >= num_nodes:
+        raise ValueError(
+            f"edge endpoints out of range [0, {num_nodes}): "
+            f"min={edges.min()}, max={edges.max()}"
+        )
+    lo = np.minimum(edges[:, 0], edges[:, 1])
+    hi = np.maximum(edges[:, 0], edges[:, 1])
+    keep = lo != hi
+    lo, hi = lo[keep], hi[keep]
+    keys = lo * num_nodes + hi
+    unique_keys = np.unique(keys)
+    return np.stack([unique_keys // num_nodes, unique_keys % num_nodes], axis=1)
+
+
+class RelationGraph:
+    """An undirected graph over ``num_nodes`` shared nodes for one relation.
+
+    Parameters
+    ----------
+    num_nodes:
+        Size of the shared node universe (nodes with no edges are allowed).
+    edges:
+        ``(E, 2)`` int array of undirected edges; deduplicated and
+        canonicalised unless ``validated=True``.
+    name:
+        Relation label (e.g. ``"view"`` or ``"U-P-U"``).
+    """
+
+    def __init__(self, num_nodes: int, edges: np.ndarray, name: str = "rel",
+                 validated: bool = False):
+        self.num_nodes = int(num_nodes)
+        self.name = name
+        if validated:
+            self.edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        else:
+            self.edges = canonical_edges(edges, self.num_nodes)
+        self._adj: Optional[sp.csr_matrix] = None
+        self._sym_prop: dict = {}
+        self._degrees: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return int(self.edges.shape[0])
+
+    def directed_pairs(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (src, dst) with both directions of every undirected edge."""
+        if self.num_edges == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        src = np.concatenate([self.edges[:, 0], self.edges[:, 1]])
+        dst = np.concatenate([self.edges[:, 1], self.edges[:, 0]])
+        return src, dst
+
+    def adjacency(self) -> sp.csr_matrix:
+        """Symmetric binary adjacency matrix (cached)."""
+        if self._adj is None:
+            src, dst = self.directed_pairs()
+            data = np.ones(len(src), dtype=np.float64)
+            self._adj = sp.csr_matrix(
+                (data, (src, dst)), shape=(self.num_nodes, self.num_nodes)
+            )
+        return self._adj
+
+    def degrees(self) -> np.ndarray:
+        """Undirected node degrees."""
+        if self._degrees is None:
+            deg = np.zeros(self.num_nodes, dtype=np.int64)
+            np.add.at(deg, self.edges[:, 0], 1)
+            np.add.at(deg, self.edges[:, 1], 1)
+            self._degrees = deg
+        return self._degrees
+
+    def sym_propagator(self, add_self_loops: bool = True) -> sp.csr_matrix:
+        """``D^{-1/2} (A [+ I]) D^{-1/2}`` — the GCN/SGC propagation operator."""
+        key = bool(add_self_loops)
+        if key not in self._sym_prop:
+            adj = self.adjacency()
+            if add_self_loops:
+                adj = adj + sp.eye(self.num_nodes, format="csr")
+            deg = np.asarray(adj.sum(axis=1)).ravel()
+            inv_sqrt = np.zeros_like(deg)
+            nz = deg > 0
+            inv_sqrt[nz] = 1.0 / np.sqrt(deg[nz])
+            d_half = sp.diags(inv_sqrt)
+            self._sym_prop[key] = (d_half @ adj @ d_half).tocsr()
+        return self._sym_prop[key]
+
+    # ------------------------------------------------------------------
+    def remove_edges(self, edge_idx: np.ndarray) -> "RelationGraph":
+        """New graph without the undirected edges at positions ``edge_idx``."""
+        mask = np.ones(self.num_edges, dtype=bool)
+        mask[np.asarray(edge_idx, dtype=np.int64)] = False
+        return RelationGraph(self.num_nodes, self.edges[mask], name=self.name,
+                             validated=True)
+
+    def keep_edges(self, edge_idx: np.ndarray) -> "RelationGraph":
+        """New graph containing only the edges at positions ``edge_idx``."""
+        edge_idx = np.asarray(edge_idx, dtype=np.int64)
+        return RelationGraph(self.num_nodes, self.edges[edge_idx], name=self.name,
+                             validated=True)
+
+    def add_edges(self, new_edges: np.ndarray) -> "RelationGraph":
+        """New graph with ``new_edges`` unioned in (re-canonicalised)."""
+        combined = np.concatenate([self.edges, np.asarray(new_edges, dtype=np.int64).reshape(-1, 2)])
+        return RelationGraph(self.num_nodes, combined, name=self.name)
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Sorted neighbor ids of ``node``."""
+        adj = self.adjacency()
+        return adj.indices[adj.indptr[node]:adj.indptr[node + 1]]
+
+    def __repr__(self) -> str:
+        return (f"RelationGraph(name={self.name!r}, nodes={self.num_nodes}, "
+                f"edges={self.num_edges})")

@@ -1,0 +1,78 @@
+"""Persistence for multiplex graphs: npz archives and edge-list TSV.
+
+A downstream user's integration path: export interaction logs per relation
+as TSV (``src<TAB>dst``), or save/load the whole graph (attributes +
+labels) as a single compressed ``.npz`` archive.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .graph import RelationGraph
+from .multiplex import MultiplexGraph
+
+_RELATION_PREFIX = "edges::"
+
+
+def save_multiplex(path, graph: MultiplexGraph,
+                   labels: Optional[np.ndarray] = None) -> None:
+    """Save a multiplex graph (and optional labels) to a ``.npz`` archive.
+
+    The archive stores the attribute matrix under ``x``, each relation's
+    canonical edge array under ``edges::<name>``, and labels under
+    ``labels`` when provided.
+    """
+    payload = {"x": graph.x}
+    for name, rel in graph.relations.items():
+        payload[_RELATION_PREFIX + name] = rel.edges
+    if labels is not None:
+        labels = np.asarray(labels)
+        if labels.shape[0] != graph.num_nodes:
+            raise ValueError(
+                f"labels length {labels.shape[0]} != num_nodes {graph.num_nodes}"
+            )
+        payload["labels"] = labels
+    np.savez_compressed(path, **payload)
+
+
+def load_multiplex(path) -> Tuple[MultiplexGraph, Optional[np.ndarray]]:
+    """Load a graph saved by :func:`save_multiplex`; returns (graph, labels)."""
+    with np.load(path) as archive:
+        if "x" not in archive:
+            raise ValueError(f"{path}: not a multiplex archive (missing 'x')")
+        x = archive["x"]
+        relations: Dict[str, RelationGraph] = {}
+        for key in archive.files:
+            if key.startswith(_RELATION_PREFIX):
+                name = key[len(_RELATION_PREFIX):]
+                relations[name] = RelationGraph(x.shape[0], archive[key],
+                                                name=name, validated=True)
+        if not relations:
+            raise ValueError(f"{path}: archive contains no relations")
+        labels = archive["labels"] if "labels" in archive else None
+    return MultiplexGraph(x=x, relations=relations), labels
+
+
+def write_edge_list(path, relation: RelationGraph, delimiter: str = "\t") -> None:
+    """Write one relation as a ``src<delim>dst`` text file."""
+    np.savetxt(path, relation.edges, fmt="%d", delimiter=delimiter,
+               header=f"relation={relation.name} nodes={relation.num_nodes}")
+
+
+def read_edge_list(path, num_nodes: int, name: str = "rel",
+                   delimiter: str = "\t") -> RelationGraph:
+    """Read a ``src<delim>dst`` text file into a :class:`RelationGraph`."""
+    edges = np.loadtxt(path, dtype=np.int64, delimiter=delimiter, ndmin=2)
+    return RelationGraph(num_nodes, edges, name=name)
+
+
+def from_edge_dict(num_nodes: int, edge_dict: Dict[str, np.ndarray],
+                   x: np.ndarray) -> MultiplexGraph:
+    """Convenience constructor: name → (E, 2) arrays plus features."""
+    relations = {name: RelationGraph(num_nodes, edges, name=name)
+                 for name, edges in edge_dict.items()}
+    return MultiplexGraph(x=x, relations=relations)

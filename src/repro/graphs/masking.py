@@ -1,0 +1,113 @@
+"""Masking and augmentation strategies (Sec. IV-A and IV-B of the paper).
+
+Four primitives, all functional (they return index sets or new matrices and
+never mutate the input graph):
+
+* :func:`attribute_mask` — sample the masked node subset ``V_ma`` (Eq. 1).
+* :func:`edge_mask` — sample the masked edge subset ``E_ms`` (Eq. 5).
+* :func:`attribute_swap` — the attribute-level augmentation that replaces
+  selected nodes' features with another node's features (Eq. 10).
+* :func:`subgraph_mask` — RWR-based subgraph masking for the subgraph-level
+  augmented view (Sec. IV-B2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from .graph import RelationGraph
+from .sampling import edges_within, sample_edges, sample_nodes, sample_rwr_subgraphs
+
+
+@dataclass(frozen=True)
+class AttributeMask:
+    """Masked node subset: ``nodes`` get the learnable [MASK] token."""
+
+    nodes: np.ndarray  # masked node ids (V_ma)
+
+    @property
+    def count(self) -> int:
+        return int(self.nodes.size)
+
+
+@dataclass(frozen=True)
+class EdgeMask:
+    """Masked edge subset for one relational subgraph."""
+
+    edge_idx: np.ndarray  # positions into RelationGraph.edges (E_ms)
+    remaining: RelationGraph  # graph with those edges removed
+    masked_edges: np.ndarray  # (|E_ms|, 2) endpoint pairs
+
+
+@dataclass(frozen=True)
+class SubgraphMask:
+    """Subgraph-level mask: sampled node sets and the edges they induce."""
+
+    node_sets: List[np.ndarray]
+    nodes: np.ndarray  # union of all sampled subgraph nodes
+    edge_idx: np.ndarray  # induced edge positions (E_s)
+    remaining: RelationGraph
+    masked_edges: np.ndarray
+
+
+def attribute_mask(num_nodes: int, mask_ratio: float,
+                   rng: np.random.Generator) -> AttributeMask:
+    """Uniformly sample ``mask_ratio`` of the nodes for attribute masking."""
+    count = max(1, int(round(mask_ratio * num_nodes)))
+    return AttributeMask(nodes=sample_nodes(num_nodes, count, rng))
+
+
+def edge_mask(graph: RelationGraph, mask_ratio: float,
+              rng: np.random.Generator) -> EdgeMask:
+    """Uniformly sample ``mask_ratio`` of the edges to remove (Eq. 5)."""
+    idx = sample_edges(graph, mask_ratio, rng)
+    return EdgeMask(
+        edge_idx=idx,
+        remaining=graph.remove_edges(idx),
+        masked_edges=graph.edges[idx],
+    )
+
+
+def attribute_swap(x: np.ndarray, swap_ratio: float,
+                   rng: np.random.Generator) -> tuple:
+    """Attribute-level augmentation (Eq. 10).
+
+    Randomly selects ``V_aa`` and replaces each selected node's feature row
+    with the feature row of another uniformly chosen node. Returns
+    ``(x_augmented, swapped_node_ids)``.
+    """
+    num_nodes = x.shape[0]
+    count = max(1, int(round(swap_ratio * num_nodes)))
+    selected = sample_nodes(num_nodes, count, rng)
+    donors = rng.integers(0, num_nodes, size=count)
+    # Re-draw donors that landed on the node itself.
+    clash = donors == selected
+    while np.any(clash):
+        donors[clash] = rng.integers(0, num_nodes, size=int(clash.sum()))
+        clash = donors == selected
+    augmented = x.copy()
+    augmented[selected] = x[donors]
+    return augmented, selected
+
+
+def subgraph_mask(graph: RelationGraph, num_subgraphs: int, subgraph_size: int,
+                  rng: np.random.Generator,
+                  restart_prob: float = 0.3) -> SubgraphMask:
+    """Sample RWR subgraphs and mask all edges they induce (Sec. IV-B2)."""
+    node_sets = sample_rwr_subgraphs(graph, num_subgraphs, subgraph_size, rng,
+                                     restart_prob=restart_prob)
+    if node_sets:
+        union = np.unique(np.concatenate(node_sets))
+    else:
+        union = np.empty(0, dtype=np.int64)
+    edge_idx = edges_within(graph, union)
+    return SubgraphMask(
+        node_sets=node_sets,
+        nodes=union,
+        edge_idx=edge_idx,
+        remaining=graph.remove_edges(edge_idx),
+        masked_edges=graph.edges[edge_idx],
+    )

@@ -1,0 +1,20 @@
+"""Neural-network substrate: modules, layers, initialisers, optimisers."""
+
+from . import init
+from .layers import GATConv, GCNConv, Linear, SGCConv
+from .module import Module, ModuleList, Parameter
+from .optim import Adam, Optimizer, SGD
+
+__all__ = [
+    "Adam",
+    "GATConv",
+    "GCNConv",
+    "Linear",
+    "Module",
+    "ModuleList",
+    "Optimizer",
+    "Parameter",
+    "SGCConv",
+    "SGD",
+    "init",
+]

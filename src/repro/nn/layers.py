@@ -1,0 +1,152 @@
+"""Core neural layers: Linear, simplified-GCN (SGC), and sparse GAT.
+
+The paper's GMAE uses "GAT and simplified GCN as the encoder and decoder"
+(Sec. V-A3); both are implemented here against the autograd substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..autograd import ops, spmm
+from ..autograd.tensor import Tensor
+from . import init
+from .module import Module, Parameter
+
+
+class Linear(Module):
+    """Affine map ``x @ W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator,
+                 bias: bool = True):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng),
+                                name="linear.weight")
+        self.bias = Parameter(init.zeros(out_features), name="linear.bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = ops.matmul(x, self.weight)
+        if self.bias is not None:
+            out = ops.add(out, self.bias)
+        return out
+
+
+class SGCConv(Module):
+    """Simplified GCN layer: ``S^k X W`` with a pre-normalised propagator.
+
+    ``propagation`` applications of the (constant) sparse operator are folded
+    into the forward pass; no nonlinearity, matching Wu et al.'s SGC, which
+    is what UMGAD's decoders use.
+    """
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator,
+                 propagation: int = 1, bias: bool = True):
+        super().__init__()
+        self.propagation = int(propagation)
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng),
+                                name="sgc.weight")
+        self.bias = Parameter(init.zeros(out_features), name="sgc.bias") if bias else None
+
+    def forward(self, x: Tensor, propagator: sp.spmatrix) -> Tensor:
+        out = ops.matmul(x, self.weight)
+        for _ in range(self.propagation):
+            out = spmm(propagator, out)
+        if self.bias is not None:
+            out = ops.add(out, self.bias)
+        return out
+
+
+class GATConv(Module):
+    """Sparse multi-head graph attention layer (Velickovic et al.).
+
+    Attention logits are computed per edge from source/destination halves of
+    the usual concatenated form, softmax-normalised over each destination
+    node's incoming edges with :func:`segment_softmax`, and used to weight
+    message aggregation. Heads are concatenated (or averaged when
+    ``concat_heads=False``).
+    """
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator,
+                 heads: int = 1, concat_heads: bool = True,
+                 negative_slope: float = 0.2, add_self_loops: bool = True):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.heads = int(heads)
+        self.concat_heads = concat_heads
+        self.negative_slope = negative_slope
+        self.add_self_loops = add_self_loops
+        self.weight = Parameter(
+            init.xavier_uniform((in_features, self.heads * out_features), rng),
+            name="gat.weight",
+        )
+        self.att_src = Parameter(init.xavier_uniform((self.heads, out_features), rng),
+                                 name="gat.att_src")
+        self.att_dst = Parameter(init.xavier_uniform((self.heads, out_features), rng),
+                                 name="gat.att_dst")
+        self.bias = Parameter(
+            init.zeros(self.heads * out_features if concat_heads else out_features),
+            name="gat.bias",
+        )
+
+    def forward(self, x: Tensor, src: np.ndarray, dst: np.ndarray,
+                num_nodes: Optional[int] = None) -> Tensor:
+        """Apply attention over the edge list ``(src[i] -> dst[i])``."""
+        n = num_nodes if num_nodes is not None else x.shape[0]
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if self.add_self_loops:
+            loop = np.arange(n, dtype=np.int64)
+            src = np.concatenate([src, loop])
+            dst = np.concatenate([dst, loop])
+
+        h = ops.matmul(x, self.weight)  # (n, heads*out)
+        h = ops.reshape(h, (n, self.heads, self.out_features))
+
+        # Per-node attention halves: (n, heads)
+        alpha_src = ops.sum(ops.mul(h, self.att_src), axis=-1)
+        alpha_dst = ops.sum(ops.mul(h, self.att_dst), axis=-1)
+
+        # Per-edge logits and attention coefficients: (E, heads)
+        logits = ops.leaky_relu(
+            ops.add(ops.gather_rows(alpha_src, src), ops.gather_rows(alpha_dst, dst)),
+            negative_slope=self.negative_slope,
+        )
+        att = ops.segment_softmax(logits, dst, n)
+
+        # Weighted message aggregation: (E, heads, out) -> (n, heads, out)
+        messages = ops.mul(ops.gather_rows(h, src),
+                           ops.reshape(att, (att.shape[0], self.heads, 1)))
+        out = ops.segment_sum(messages, dst, n)
+
+        if self.concat_heads:
+            out = ops.reshape(out, (n, self.heads * self.out_features))
+        else:
+            out = ops.mean(out, axis=1)
+        return ops.add(out, self.bias)
+
+
+class GCNConv(Module):
+    """Classic GCN layer: ``S X W`` followed by an optional bias.
+
+    Kept separate from :class:`SGCConv` because baseline methods (DOMINANT,
+    GCNAE, ...) use single-hop GCN stacks with nonlinearities in between.
+    """
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator,
+                 bias: bool = True):
+        super().__init__()
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng),
+                                name="gcn.weight")
+        self.bias = Parameter(init.zeros(out_features), name="gcn.bias") if bias else None
+
+    def forward(self, x: Tensor, propagator: sp.spmatrix) -> Tensor:
+        out = spmm(propagator, ops.matmul(x, self.weight))
+        if self.bias is not None:
+            out = ops.add(out, self.bias)
+        return out

@@ -1,0 +1,6 @@
+"""Shared utilities: RNG threading and timing."""
+
+from .rng import SeedLike, ensure_rng, spawn
+from .timer import Timer
+
+__all__ = ["SeedLike", "Timer", "ensure_rng", "spawn"]

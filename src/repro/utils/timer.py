@@ -1,0 +1,34 @@
+"""Wall-clock timing helpers for the efficiency experiments (Fig. 6/7)."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class Timer:
+    """Accumulates named wall-clock spans; used to report per-epoch and
+    total runtimes in the Fig. 7 reproduction."""
+
+    spans: Dict[str, List[float]] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.spans.setdefault(name, []).append(time.perf_counter() - start)
+
+    def total(self, name: str) -> float:
+        return float(sum(self.spans.get(name, [])))
+
+    def mean(self, name: str) -> float:
+        values = self.spans.get(name, [])
+        return float(sum(values) / len(values)) if values else 0.0
+
+    def count(self, name: str) -> int:
+        return len(self.spans.get(name, []))

@@ -1,0 +1,43 @@
+"""Shared fixtures: RNGs, tiny graphs, and a tiny fitted UMGAD model."""
+
+import numpy as np
+import pytest
+
+from repro.core import UMGAD, UMGADConfig
+from repro.datasets import load_dataset
+from repro.graphs import MultiplexGraph, RelationGraph, random_multiplex
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def tiny_relation(rng):
+    """A ~30-node connected-ish relation graph."""
+    edges = []
+    for i in range(29):
+        edges.append((i, i + 1))
+    extra = rng.integers(0, 30, size=(15, 2))
+    edges = np.concatenate([np.array(edges), extra])
+    return RelationGraph(30, edges, name="tiny")
+
+
+@pytest.fixture
+def tiny_multiplex(rng):
+    """3-relation multiplex graph with 40 nodes, 8 features."""
+    return random_multiplex(40, 3, 8, rng, avg_degree=4.0)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """Small retail dataset reused across tests (read-only)."""
+    return load_dataset("retail", scale=0.15, num_features=16, seed=11)
+
+
+@pytest.fixture(scope="session")
+def fitted_umgad(tiny_dataset):
+    """A UMGAD model fitted with a minimal budget (read-only)."""
+    cfg = UMGADConfig(epochs=4, mask_repeats=1, hidden_dim=16, seed=0)
+    return UMGAD(cfg).fit(tiny_dataset.graph)

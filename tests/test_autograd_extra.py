@@ -1,0 +1,118 @@
+"""Second-round autograd coverage: edge cases the models rely on."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients, numeric_gradient, ops
+
+
+def arr(shape, seed=0):
+    return np.random.default_rng(seed).normal(size=shape)
+
+
+class TestIndexingVariants:
+    def test_boolean_mask_index(self):
+        a = Tensor(arr((6, 3), 1), requires_grad=True)
+        mask = np.array([True, False, True, False, False, True])
+        out = ops.index(a, mask)
+        assert out.shape == (3, 3)
+        ops.sum(out).backward()
+        np.testing.assert_allclose(a.grad[mask], 1.0)
+        np.testing.assert_allclose(a.grad[~mask], 0.0)
+
+    def test_integer_scalar_index(self):
+        a = Tensor(arr((4, 2), 2), requires_grad=True)
+        ops.sum(ops.index(a, 2)).backward()
+        np.testing.assert_allclose(a.grad[2], 1.0)
+        assert a.grad[0].sum() == 0
+
+    def test_tuple_index(self):
+        a = Tensor(arr((4, 5), 3), requires_grad=True)
+        out = ops.index(a, (slice(None), 1))
+        assert out.shape == (4,)
+        ops.sum(out).backward()
+        np.testing.assert_allclose(a.grad[:, 1], 1.0)
+
+    def test_clip_one_sided(self):
+        check_gradients(lambda a: ops.clip(a, None, 0.5), [arr((5,), 4)])
+        check_gradients(lambda a: ops.clip(a, -0.5, None), [arr((5,), 5)])
+
+    def test_stack_axis1(self):
+        check_gradients(lambda a, b: ops.stack([a, b], axis=1),
+                        [arr((3, 2), 6), arr((3, 2), 7)])
+
+    def test_concat_three_parts(self):
+        check_gradients(
+            lambda a, b, c: ops.concat([a, b, c], axis=0),
+            [arr((2, 3), 8), arr((1, 3), 9), arr((4, 3), 10)])
+
+
+class TestSegmentOpsEdgeCases:
+    def test_segment_sum_empty_segment(self):
+        vals = Tensor(np.ones((3, 2)))
+        out = ops.segment_sum(vals, np.array([0, 0, 2]), 4)
+        np.testing.assert_allclose(out.data[1], 0.0)
+        np.testing.assert_allclose(out.data[3], 0.0)
+
+    def test_segment_softmax_single_member_segments(self):
+        scores = Tensor(arr((4,), 11))
+        out = ops.segment_softmax(scores, np.array([0, 1, 2, 3]), 4)
+        np.testing.assert_allclose(out.data, np.ones(4))
+
+    def test_segment_softmax_extreme_logits(self):
+        scores = Tensor(np.array([1e3, -1e3, 1e3]))
+        out = ops.segment_softmax(scores, np.array([0, 0, 1]), 2)
+        assert np.all(np.isfinite(out.data))
+        assert out.data[0] == pytest.approx(1.0)
+
+    def test_gather_rows_empty(self):
+        a = Tensor(arr((5, 3), 12), requires_grad=True)
+        out = ops.gather_rows(a, np.empty(0, dtype=np.int64))
+        assert out.shape == (0, 3)
+
+
+class TestNumericGradientHelper:
+    def test_matches_known_derivative(self):
+        g = numeric_gradient(lambda a: ops.mul(a, a), [np.array([3.0])])
+        np.testing.assert_allclose(g, [6.0], rtol=1e-5)
+
+    def test_wrt_selects_input(self):
+        g0 = numeric_gradient(lambda a, b: ops.mul(a, b),
+                              [np.array([2.0]), np.array([5.0])], wrt=0)
+        g1 = numeric_gradient(lambda a, b: ops.mul(a, b),
+                              [np.array([2.0]), np.array([5.0])], wrt=1)
+        np.testing.assert_allclose(g0, [5.0], rtol=1e-5)
+        np.testing.assert_allclose(g1, [2.0], rtol=1e-5)
+
+
+class TestLongCompositions:
+    def test_mlp_like_chain(self):
+        check_gradients(
+            lambda x, w1, w2: ops.matmul(ops.tanh(ops.matmul(x, w1)), w2),
+            [arr((4, 3), 13), arr((3, 5), 14), arr((5, 2), 15)])
+
+    def test_normalized_attention_chain(self):
+        def fn(q, k):
+            logits = ops.matmul(q, ops.transpose(k))
+            att = ops.softmax(logits, axis=-1)
+            return ops.matmul(att, k)
+
+        check_gradients(fn, [arr((3, 4), 16), arr((3, 4), 17)])
+
+    def test_loss_like_scalar_chain(self):
+        def fn(a, b):
+            cos = ops.cosine_similarity(a, b)
+            return ops.mean(ops.power(ops.clip(ops.sub(1.0, cos), 0.0, 2.0), 2.0))
+
+        check_gradients(fn, [arr((6, 4), 18), arr((6, 4), 19)])
+
+    def test_gradient_accumulation_reuse(self):
+        # One tensor used in three branches of the loss.
+        a = Tensor(arr((4, 4), 20), requires_grad=True)
+        loss = ops.add(ops.add(ops.sum(ops.relu(a)), ops.sum(ops.sigmoid(a))),
+                       ops.mean(ops.mul(a, a)))
+        loss.backward()
+        expected = ((a.data > 0).astype(float)
+                    + (1 / (1 + np.exp(-a.data))) * (1 - 1 / (1 + np.exp(-a.data)))
+                    + 2 * a.data / a.data.size)
+        np.testing.assert_allclose(a.grad, expected, rtol=1e-9)

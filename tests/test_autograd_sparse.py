@@ -1,0 +1,45 @@
+"""spmm: sparse-dense product correctness and gradients."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.autograd import Tensor, check_gradients, ops, spmm
+
+
+@pytest.fixture
+def sparse_mat():
+    return sp.random(6, 6, density=0.4, random_state=1, format="csr")
+
+
+class TestSpmm:
+    def test_value_matches_dense(self, sparse_mat):
+        x = np.random.default_rng(0).normal(size=(6, 3))
+        out = spmm(sparse_mat, Tensor(x))
+        np.testing.assert_allclose(out.data, sparse_mat.toarray() @ x)
+
+    def test_gradient(self, sparse_mat):
+        x = np.random.default_rng(1).normal(size=(6, 3))
+        check_gradients(lambda t: spmm(sparse_mat, t), [x])
+
+    def test_rectangular(self):
+        m = sp.random(4, 7, density=0.5, random_state=2, format="csr")
+        x = np.random.default_rng(2).normal(size=(7, 2))
+        out = spmm(m, Tensor(x))
+        assert out.shape == (4, 2)
+        check_gradients(lambda t: spmm(m, t), [x])
+
+    def test_rejects_dense_matrix(self):
+        with pytest.raises(TypeError, match="sparse"):
+            spmm(np.eye(3), Tensor(np.ones((3, 2))))
+
+    def test_constant_input_no_graph(self, sparse_mat):
+        out = spmm(sparse_mat, Tensor(np.ones((6, 2))))
+        assert not out.requires_grad
+
+    def test_chained_through_graph(self, sparse_mat):
+        x = Tensor(np.random.default_rng(3).normal(size=(6, 3)), requires_grad=True)
+        out = ops.sum(ops.relu(spmm(sparse_mat, x)))
+        out.backward()
+        assert x.grad is not None
+        assert x.grad.shape == (6, 3)

@@ -1,0 +1,168 @@
+"""Tensor mechanics: construction, graph bookkeeping, backward rules."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, ops, tensor, zeros, ones, ensure_tensor
+from repro.autograd.tensor import unbroadcast
+
+
+class TestConstruction:
+    def test_from_list(self):
+        t = tensor([1.0, 2.0, 3.0])
+        assert t.shape == (3,)
+        assert t.dtype == np.float64
+
+    def test_int_promoted_to_float(self):
+        t = tensor(np.array([1, 2, 3]))
+        assert t.dtype.kind == "f"
+
+    def test_requires_grad_default_false(self):
+        assert not tensor([1.0]).requires_grad
+
+    def test_zeros_ones(self):
+        assert np.all(zeros((2, 3)).data == 0)
+        assert np.all(ones((2, 3)).data == 1)
+
+    def test_ensure_tensor_passthrough(self):
+        t = tensor([1.0])
+        assert ensure_tensor(t) is t
+
+    def test_ensure_tensor_wraps_scalar(self):
+        t = ensure_tensor(2.5)
+        assert float(t.data) == 2.5
+
+    def test_repr_mentions_shape(self):
+        assert "shape=(2,)" in repr(tensor([1.0, 2.0]))
+
+    def test_len(self):
+        assert len(tensor([1.0, 2.0, 3.0])) == 3
+
+    def test_detach_cuts_graph(self):
+        a = tensor([1.0, 2.0], requires_grad=True)
+        b = ops.mul(a, 2.0).detach()
+        assert not b.requires_grad
+
+    def test_item_scalar(self):
+        assert tensor(3.5).item() == 3.5
+
+    def test_transpose_property(self):
+        a = tensor(np.arange(6.0).reshape(2, 3))
+        assert a.T.shape == (3, 2)
+
+
+class TestBackward:
+    def test_scalar_backward_default_grad(self):
+        a = tensor([1.0, 2.0, 3.0], requires_grad=True)
+        ops.sum(a).backward()
+        np.testing.assert_allclose(a.grad, np.ones(3))
+
+    def test_nonscalar_backward_requires_grad_arg(self):
+        a = tensor([1.0, 2.0], requires_grad=True)
+        out = ops.mul(a, 2.0)
+        with pytest.raises(ValueError, match="non-scalar"):
+            out.backward()
+
+    def test_explicit_gradient(self):
+        a = tensor([1.0, 2.0], requires_grad=True)
+        out = ops.mul(a, 3.0)
+        out.backward(np.array([1.0, 10.0]))
+        np.testing.assert_allclose(a.grad, [3.0, 30.0])
+
+    def test_gradient_shape_mismatch_raises(self):
+        a = tensor([1.0, 2.0], requires_grad=True)
+        out = ops.mul(a, 3.0)
+        with pytest.raises(ValueError, match="shape"):
+            out.backward(np.array([1.0]))
+
+    def test_gradient_accumulates_across_uses(self):
+        a = tensor([2.0], requires_grad=True)
+        out = ops.add(ops.mul(a, 3.0), ops.mul(a, 4.0))
+        out.backward(np.array([1.0]))
+        np.testing.assert_allclose(a.grad, [7.0])
+
+    def test_zero_grad(self):
+        a = tensor([1.0], requires_grad=True)
+        ops.sum(a).backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_no_grad_for_constants(self):
+        a = tensor([1.0, 2.0])
+        b = tensor([1.0, 2.0], requires_grad=True)
+        ops.sum(ops.mul(a, b)).backward()
+        assert a.grad is None
+        np.testing.assert_allclose(b.grad, [1.0, 2.0])
+
+    def test_deep_chain_no_recursion_error(self):
+        a = tensor([1.0], requires_grad=True)
+        out = a
+        for _ in range(3000):
+            out = ops.add(out, 1.0)
+        ops.sum(out).backward()
+        np.testing.assert_allclose(a.grad, [1.0])
+
+    def test_diamond_graph(self):
+        a = tensor([2.0], requires_grad=True)
+        b = ops.mul(a, 3.0)
+        c = ops.add(b, b)  # both branches through b
+        ops.sum(c).backward()
+        np.testing.assert_allclose(a.grad, [6.0])
+
+
+class TestUnbroadcast:
+    def test_no_change_for_same_shape(self):
+        g = np.ones((2, 3))
+        assert unbroadcast(g, (2, 3)).shape == (2, 3)
+
+    def test_sums_leading_axis(self):
+        g = np.ones((4, 2, 3))
+        np.testing.assert_allclose(unbroadcast(g, (2, 3)), 4 * np.ones((2, 3)))
+
+    def test_sums_kept_axis(self):
+        g = np.ones((2, 3))
+        out = unbroadcast(g, (2, 1))
+        np.testing.assert_allclose(out, 3 * np.ones((2, 1)))
+
+    def test_scalar_target(self):
+        g = np.ones((2, 3))
+        np.testing.assert_allclose(unbroadcast(g, ()), 6.0)
+
+
+class TestOperatorSugar:
+    def test_add_radd(self):
+        a = tensor([1.0], requires_grad=True)
+        np.testing.assert_allclose((1.0 + a).data, [2.0])
+        np.testing.assert_allclose((a + 1.0).data, [2.0])
+
+    def test_sub_rsub(self):
+        a = tensor([1.0])
+        np.testing.assert_allclose((a - 3.0).data, [-2.0])
+        np.testing.assert_allclose((3.0 - a).data, [2.0])
+
+    def test_mul_div(self):
+        a = tensor([4.0])
+        np.testing.assert_allclose((a * 2.0).data, [8.0])
+        np.testing.assert_allclose((a / 2.0).data, [2.0])
+        np.testing.assert_allclose((2.0 / a).data, [0.5])
+
+    def test_neg_pow(self):
+        a = tensor([2.0])
+        np.testing.assert_allclose((-a).data, [-2.0])
+        np.testing.assert_allclose((a ** 2).data, [4.0])
+
+    def test_matmul_operator(self):
+        a = tensor(np.eye(2))
+        b = tensor([[1.0, 2.0], [3.0, 4.0]])
+        np.testing.assert_allclose((a @ b).data, b.data)
+
+    def test_getitem(self):
+        a = tensor([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(a[1].data, 2.0)
+
+    def test_method_reductions(self):
+        a = tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert a.sum().item() == 10.0
+        assert a.mean().item() == 2.5
+        assert a.reshape(4).shape == (4,)
+        assert a.norm().item() == pytest.approx(np.sqrt(30.0))

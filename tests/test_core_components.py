@@ -1,0 +1,219 @@
+"""UMGAD core components: GMAE, losses, scoring, config."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, ops
+from repro.core import GMAE, UMGADConfig, ablation_config
+from repro.core.losses import (
+    dual_view_contrastive,
+    masked_edge_loss,
+    scaled_cosine_error,
+)
+from repro.core.scoring import (
+    attribute_errors,
+    combine_view_score,
+    minmax_normalize,
+    structure_errors,
+    structure_errors_exact,
+    structure_errors_sampled,
+)
+from repro.graphs import RelationGraph
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = UMGADConfig()
+        assert cfg.mode == "full"
+
+    @pytest.mark.parametrize("field,value", [
+        ("alpha", 0.0), ("alpha", 1.5), ("beta", -0.1), ("mask_ratio", 1.0),
+        ("eta", 0.5), ("mode", "bogus"), ("structure_score_mode", "bogus"),
+        ("mask_repeats", 0), ("attr_score_metric", "bogus"),
+    ])
+    def test_invalid_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            UMGADConfig(**{field: value})
+
+    def test_variant_copies(self):
+        cfg = UMGADConfig()
+        v = cfg.variant(alpha=0.7)
+        assert v.alpha == 0.7 and cfg.alpha == 0.5
+
+    def test_ablation_config_switches(self):
+        base = UMGADConfig()
+        assert not ablation_config(base, "w/o M").use_mask
+        assert not ablation_config(base, "w/o O").use_original
+        woa = ablation_config(base, "w/o A")
+        assert not woa.use_augmented and not woa.use_contrastive
+        assert not ablation_config(base, "w/o NA").use_attr_aug
+        assert not ablation_config(base, "w/o SA").use_subgraph_aug
+        assert not ablation_config(base, "w/o DCL").use_contrastive
+        assert ablation_config(base, "full") == base
+
+    def test_ablation_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown ablation"):
+            ablation_config(UMGADConfig(), "w/o X")
+
+
+class TestGMAE:
+    @pytest.mark.parametrize("kind", ["gat", "sgc"])
+    def test_roundtrip_shapes(self, kind, tiny_relation, rng):
+        gmae = GMAE(8, 16, rng, encoder=kind)
+        x = Tensor(rng.normal(size=(30, 8)))
+        out = gmae(x, tiny_relation)
+        assert out.shape == (30, 8)
+
+    def test_mask_token_applied(self, tiny_relation, rng):
+        gmae = GMAE(8, 16, rng)
+        x = Tensor(rng.normal(size=(30, 8)))
+        masked = gmae.apply_mask(x, np.array([0, 5]))
+        np.testing.assert_allclose(masked.data[0], gmae.mask_token.data[0])
+        np.testing.assert_allclose(masked.data[1], x.data[1])
+
+    def test_mask_token_is_trainable(self, tiny_relation, rng):
+        gmae = GMAE(8, 16, rng)
+        x = Tensor(rng.normal(size=(30, 8)))
+        out = gmae(x, tiny_relation, masked_nodes=np.array([0, 1, 2]))
+        ops.sum(ops.mul(out, out)).backward()
+        assert gmae.mask_token.grad is not None
+        assert np.any(gmae.mask_token.grad != 0)
+
+    def test_unknown_encoder_raises(self, rng):
+        with pytest.raises(ValueError, match="encoder"):
+            GMAE(4, 8, rng, encoder="mlp")
+
+    def test_encoder_depth(self, rng):
+        shallow = GMAE(8, 16, rng, encoder_layers=1)
+        deep = GMAE(8, 16, rng, encoder_layers=3)
+        assert len(deep.encoder) == 3 and len(shallow.encoder) == 1
+
+
+class TestLosses:
+    def test_cosine_error_zero_for_identical(self, rng):
+        x = Tensor(rng.normal(size=(10, 4)))
+        loss = scaled_cosine_error(x, x, np.arange(10), eta=2.0)
+        assert float(loss.data) == pytest.approx(0.0, abs=1e-12)
+
+    def test_cosine_error_positive_for_different(self, rng):
+        a = Tensor(rng.normal(size=(10, 4)))
+        b = Tensor(rng.normal(size=(10, 4)))
+        assert float(scaled_cosine_error(a, b, np.arange(10), 2.0).data) > 0
+
+    def test_cosine_error_empty_mask(self, rng):
+        a = Tensor(rng.normal(size=(5, 3)))
+        assert float(scaled_cosine_error(a, a, np.empty(0, dtype=int), 1.0).data) == 0
+
+    def test_eta_sharpens(self, rng):
+        a = Tensor(rng.normal(size=(20, 6)))
+        b = Tensor(a.data + 0.1 * rng.normal(size=(20, 6)))
+        # small errors shrink when eta grows
+        l1 = float(scaled_cosine_error(a, b, np.arange(20), 1.0).data)
+        l3 = float(scaled_cosine_error(a, b, np.arange(20), 3.0).data)
+        assert l3 < l1
+
+    def test_masked_edge_loss_prefers_true_edges(self, rng):
+        # Embeddings engineered so connected pairs align.
+        z = np.zeros((6, 4))
+        z[0] = z[1] = [1, 0, 0, 0]
+        z[2] = z[3] = [0, 1, 0, 0]
+        z[4] = z[5] = [0, 0, 1, 0]
+        edges = np.array([[0, 1], [2, 3], [4, 5]])
+        good = masked_edge_loss(Tensor(z), edges, 6, np.random.default_rng(0))
+        bad_edges = np.array([[0, 2], [1, 4], [3, 5]])
+        bad = masked_edge_loss(Tensor(z), bad_edges, 6, np.random.default_rng(0))
+        assert float(good.data) < float(bad.data)
+
+    def test_masked_edge_loss_empty(self, rng):
+        z = Tensor(rng.normal(size=(5, 3)))
+        loss = masked_edge_loss(z, np.empty((0, 2)), 5, rng)
+        assert float(loss.data) == 0.0
+
+    def test_contrastive_prefers_aligned_views(self, rng):
+        z = rng.normal(size=(30, 8))
+        aligned = dual_view_contrastive(
+            Tensor(z), Tensor(z + 0.01 * rng.normal(size=z.shape)),
+            np.random.default_rng(1))
+        random = dual_view_contrastive(
+            Tensor(z), Tensor(rng.normal(size=z.shape)),
+            np.random.default_rng(1))
+        assert float(aligned.data) < float(random.data)
+
+    def test_contrastive_gradient_flows(self, rng):
+        a = Tensor(rng.normal(size=(10, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(10, 4)))
+        dual_view_contrastive(a, b, rng).backward()
+        assert a.grad is not None
+
+
+class TestScoring:
+    def test_minmax(self):
+        out = minmax_normalize(np.array([2.0, 4.0, 6.0]))
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0])
+        np.testing.assert_allclose(minmax_normalize(np.ones(4)), np.zeros(4))
+
+    def test_attribute_errors_euclidean(self, rng):
+        x = rng.normal(size=(5, 3))
+        err = attribute_errors(x, x, metric="euclidean")
+        np.testing.assert_allclose(err, 0.0)
+
+    def test_attribute_errors_cosine_scale_invariant(self, rng):
+        x = rng.normal(size=(5, 3))
+        err = attribute_errors(3.0 * x, x, metric="cosine")
+        np.testing.assert_allclose(err, 0.0, atol=1e-9)
+
+    def test_attribute_errors_unknown_metric(self, rng):
+        with pytest.raises(ValueError, match="metric"):
+            attribute_errors(rng.normal(size=(2, 2)), rng.normal(size=(2, 2)),
+                             metric="hamming")
+
+    def test_structure_exact_detects_bad_embeddings(self, rng):
+        # Two cliques; good embeddings separate them, scrambled ones don't.
+        edges = [(i, j) for i in range(4) for j in range(i + 1, 4)]
+        edges += [(i, j) for i in range(4, 8) for j in range(i + 1, 8)]
+        g = RelationGraph(8, np.array(edges))
+        good = np.zeros((8, 2))
+        good[:4] = [5, 0]
+        good[4:] = [-5, 0]  # antipodal: cross-clique pairs predict ~0
+        bad = rng.normal(size=(8, 2))
+        assert structure_errors_exact(good, g).mean() < \
+            structure_errors_exact(bad, g).mean()
+
+    def test_structure_sampled_close_to_exact_ordering(self, tiny_relation, rng):
+        z = rng.normal(size=(30, 6))
+        exact = structure_errors_exact(z, tiny_relation)
+        sampled = structure_errors_sampled(z, tiny_relation,
+                                           np.random.default_rng(0),
+                                           negatives_per_node=25)
+        # same rough ordering: rank correlation positive
+        re = np.argsort(np.argsort(exact)).astype(float)
+        rs = np.argsort(np.argsort(sampled)).astype(float)
+        corr = np.corrcoef(re, rs)[0, 1]
+        assert corr > 0.2
+
+    def test_structure_dispatch_auto(self, tiny_relation, rng):
+        z = rng.normal(size=(30, 4))
+        exact = structure_errors(z, tiny_relation, "auto",
+                                 np.random.default_rng(0), exact_max_nodes=100)
+        np.testing.assert_allclose(exact,
+                                   structure_errors_exact(z, tiny_relation))
+
+    def test_structure_dispatch_invalid(self, tiny_relation, rng):
+        with pytest.raises(ValueError, match="mode"):
+            structure_errors(rng.normal(size=(30, 4)), tiny_relation, "bogus",
+                             rng)
+
+    def test_combine_view_score_mixing(self, rng):
+        attr = rng.random(20)
+        struct = [rng.random(20), rng.random(20)]
+        out = combine_view_score(attr, struct, epsilon=0.5)
+        assert out.shape == (20,)
+        assert np.all(out >= 0) and np.all(out <= 1.0 + 1e-9)
+
+    def test_combine_single_term(self, rng):
+        out = combine_view_score(rng.random(10), [], epsilon=0.5)
+        assert out.max() == pytest.approx(1.0)
+
+    def test_combine_nothing_raises(self):
+        with pytest.raises(ValueError, match="no score"):
+            combine_view_score(None, [], 0.5)

@@ -1,0 +1,88 @@
+"""Dataset registry: all six builders, scaling behaviour, metadata."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    LARGE_DATASETS,
+    PAPER_STATS,
+    SMALL_DATASETS,
+    available_datasets,
+    load_dataset,
+)
+
+
+class TestRegistry:
+    def test_available_names(self):
+        assert set(available_datasets()) == {
+            "retail", "alibaba", "amazon", "yelpchi", "dgfin", "tsocial"}
+        assert set(SMALL_DATASETS) | set(LARGE_DATASETS) == set(available_datasets())
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("imaginary")
+
+    @pytest.mark.parametrize("name", ["retail", "alibaba", "amazon", "yelpchi"])
+    def test_small_datasets_load(self, name):
+        ds = load_dataset(name, scale=0.15, num_features=12, seed=1)
+        assert ds.graph.num_nodes == ds.labels.size
+        assert ds.graph.num_features == 12
+        assert ds.graph.num_relations == 3
+        assert 0 < ds.num_anomalies < ds.graph.num_nodes
+        assert ds.info.name == name
+
+    @pytest.mark.parametrize("name", ["dgfin", "tsocial"])
+    def test_large_datasets_load(self, name):
+        ds = load_dataset(name, scale=0.1, seed=1)
+        assert ds.graph.num_nodes >= 1000
+        assert 0 < ds.num_anomalies
+
+    def test_injected_have_report(self):
+        ds = load_dataset("retail", scale=0.15, seed=2)
+        assert ds.injection is not None
+        assert ds.injection.num_anomalies == ds.num_anomalies
+        assert ds.info.kind == "injected"
+
+    def test_real_have_no_report(self):
+        ds = load_dataset("amazon", scale=0.2, seed=2)
+        assert ds.injection is None
+        assert ds.info.kind == "real"
+
+    def test_anomaly_rate_tracks_paper(self):
+        for name in ("amazon", "yelpchi"):
+            ds = load_dataset(name, scale=0.3, seed=3)
+            paper_rate = (PAPER_STATS[name]["anomalies"]
+                          / PAPER_STATS[name]["nodes"])
+            assert abs(ds.info.anomaly_rate - paper_rate) < 0.25 * paper_rate
+
+    def test_relation_ratio_tracks_paper(self):
+        ds = load_dataset("retail", scale=0.4, seed=4)
+        repo = np.array(list(ds.info.relation_edges.values()), dtype=float)
+        paper = np.array(list(PAPER_STATS["retail"]["relations"].values()),
+                         dtype=float)
+        # injected cliques perturb counts slightly; compare the dominance
+        # ordering and rough ratio of the biggest relation
+        assert np.argmax(repo) == np.argmax(paper)
+        assert repo.max() / repo.sum() > 0.5
+
+    def test_scale_changes_size(self):
+        small = load_dataset("alibaba", scale=0.15, seed=5)
+        large = load_dataset("alibaba", scale=0.3, seed=5)
+        assert large.graph.num_nodes > small.graph.num_nodes
+
+    def test_deterministic_per_seed(self):
+        a = load_dataset("retail", scale=0.15, seed=6)
+        b = load_dataset("retail", scale=0.15, seed=6)
+        np.testing.assert_allclose(a.graph.x, b.graph.x)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = load_dataset("retail", scale=0.15, seed=6)
+        b = load_dataset("retail", scale=0.15, seed=7)
+        assert not np.allclose(a.graph.x, b.graph.x)
+
+    def test_info_paper_fields(self):
+        ds = load_dataset("yelpchi", scale=0.2, seed=8)
+        assert ds.info.paper_nodes == 45_954
+        assert ds.info.paper_anomalies == 6_674
+        assert ds.info.paper_relation_edges["R-S-R"] == 3_402_743

@@ -1,0 +1,149 @@
+"""Synthetic generators and the Ding et al. anomaly-injection protocol."""
+
+import numpy as np
+import pytest
+
+from repro.anomalies import (
+    inject_anomalies,
+    inject_attribute_anomalies,
+    inject_structural_anomalies,
+)
+from repro.graphs import behavior_multiplex, review_multiplex, social_multiplex
+from repro.utils.rng import ensure_rng
+
+
+@pytest.fixture
+def clean_graph(rng):
+    return behavior_multiplex(
+        num_users=70, num_items=30,
+        edge_counts={"View": 300, "Cart": 60, "Buy": 40},
+        num_features=8, rng=rng)
+
+
+class TestBehaviorGenerator:
+    def test_nested_relation_ordering(self, clean_graph):
+        view = clean_graph["View"].num_edges
+        cart = clean_graph["Cart"].num_edges
+        buy = clean_graph["Buy"].num_edges
+        assert view > cart > 0 and cart >= buy > 0
+
+    def test_bipartite_base_relation(self, clean_graph):
+        # View edges connect users [0, 70) with items [70, 100).
+        edges = clean_graph["View"].edges
+        lo = np.minimum(edges[:, 0], edges[:, 1])
+        hi = np.maximum(edges[:, 0], edges[:, 1])
+        assert np.all(lo < 70) and np.all(hi >= 70)
+
+    def test_deterministic_given_seed(self):
+        g1 = behavior_multiplex(20, 10, {"V": 40}, 4, ensure_rng(5))
+        g2 = behavior_multiplex(20, 10, {"V": 40}, 4, ensure_rng(5))
+        np.testing.assert_allclose(g1.x, g2.x)
+        np.testing.assert_array_equal(g1["V"].edges, g2["V"].edges)
+
+
+class TestReviewGenerator:
+    def test_labels_match_rate(self, rng):
+        graph, labels = review_multiplex(
+            400, {"a": 500, "b": 3000, "c": 1000}, 8, fraud_rate=0.1, rng=rng)
+        assert labels.sum() == 40
+        assert graph.num_nodes == 400
+
+    def test_density_ordering_preserved(self, rng):
+        graph, _ = review_multiplex(
+            400, {"a": 500, "b": 3000, "c": 1000}, 8, fraud_rate=0.05, rng=rng)
+        assert graph["b"].num_edges > graph["c"].num_edges > graph["a"].num_edges
+
+    def test_fraud_has_camouflage_edges(self, rng):
+        graph, labels = review_multiplex(
+            300, {"a": 400, "b": 2000, "c": 700}, 8, fraud_rate=0.1, rng=rng)
+        fraud = np.flatnonzero(labels)
+        merged = graph.merged()
+        deg = merged.degrees()
+        # fraudsters should be at least as connected as the average node
+        assert deg[fraud].mean() >= deg.mean()
+
+
+class TestSocialGenerator:
+    def test_extreme_imbalance(self, rng):
+        graph, labels = social_multiplex(
+            2000, {"a": 2000, "b": 800, "c": 600}, 8, fraud_rate=0.004, rng=rng)
+        assert 0 < labels.sum() <= 0.02 * 2000
+
+    def test_minimum_one_ring(self, rng):
+        _, labels = social_multiplex(
+            500, {"a": 400}, 8, fraud_rate=0.0001, rng=rng)
+        assert labels.sum() >= 1
+
+
+class TestStructuralInjection:
+    def test_cliques_fully_connected_somewhere(self, clean_graph, rng):
+        graph, nodes, cliques, rels_used = inject_structural_anomalies(
+            clean_graph, clique_size=4, num_cliques=2, rng=rng)
+        assert nodes.size == 8
+        assert len(cliques) == 2
+        for clique, rels in zip(cliques, rels_used):
+            for rel in rels:
+                adj = graph[rel].adjacency()
+                for i in clique:
+                    for j in clique:
+                        if i != j:
+                            assert adj[i, j] == 1
+
+    def test_edge_count_increases(self, clean_graph, rng):
+        graph, *_ = inject_structural_anomalies(clean_graph, 4, 2, rng)
+        assert graph.total_edges() > clean_graph.total_edges()
+
+    def test_exclude_respected(self, clean_graph, rng):
+        exclude = np.arange(50)
+        _, nodes, _, _ = inject_structural_anomalies(
+            clean_graph, 4, 2, rng, exclude=exclude)
+        assert not set(nodes.tolist()) & set(exclude.tolist())
+
+    def test_insufficient_nodes_raises(self, clean_graph, rng):
+        with pytest.raises(ValueError, match="not enough"):
+            inject_structural_anomalies(clean_graph, 60, 2, rng)
+
+
+class TestAttributeInjection:
+    def test_attributes_changed_to_existing_rows(self, clean_graph, rng):
+        graph, nodes = inject_attribute_anomalies(clean_graph, 5, rng)
+        for i in nodes:
+            assert not np.allclose(graph.x[i], clean_graph.x[i])
+            # swapped value must equal some original row
+            matches = np.isclose(clean_graph.x, graph.x[i]).all(axis=1)
+            assert matches.any()
+
+    def test_structure_untouched(self, clean_graph, rng):
+        graph, _ = inject_attribute_anomalies(clean_graph, 5, rng)
+        for name in clean_graph.relation_names:
+            np.testing.assert_array_equal(graph[name].edges,
+                                          clean_graph[name].edges)
+
+    def test_count_validation(self, clean_graph, rng):
+        with pytest.raises(ValueError, match="not enough"):
+            inject_attribute_anomalies(clean_graph, 1000, rng)
+
+
+class TestFullInjection:
+    def test_labels_and_report(self, clean_graph, rng):
+        graph, labels, report = inject_anomalies(
+            clean_graph, clique_size=4, num_cliques=2, rng=rng,
+            attribute_count=6)
+        assert labels.sum() == report.num_anomalies == 8 + 6
+        assert np.all(labels[report.structural_nodes] == 1)
+        assert np.all(labels[report.attribute_nodes] == 1)
+        # two anomaly sets are disjoint
+        assert not (set(report.structural_nodes.tolist())
+                    & set(report.attribute_nodes.tolist()))
+
+    def test_default_attribute_count(self, clean_graph, rng):
+        _, labels, report = inject_anomalies(clean_graph, 3, 2, rng)
+        assert report.attribute_nodes.size == 6
+        assert labels.sum() == 12
+
+    def test_original_graph_untouched(self, clean_graph, rng):
+        x_before = clean_graph.x.copy()
+        edges_before = clean_graph["View"].num_edges
+        inject_anomalies(clean_graph, 3, 2, rng)
+        np.testing.assert_allclose(clean_graph.x, x_before)
+        assert clean_graph["View"].num_edges == edges_before

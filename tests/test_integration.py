@@ -1,0 +1,77 @@
+"""End-to-end integration: generate → inject → fit → threshold → evaluate."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    UMGAD,
+    UMGADConfig,
+    load_dataset,
+    macro_f1,
+    roc_auc,
+    select_threshold,
+)
+from repro.anomalies import inject_anomalies
+from repro.baselines import make_baseline
+from repro.eval import evaluate_gt_leakage, evaluate_unsupervised
+from repro.graphs import behavior_multiplex
+from repro.utils.rng import ensure_rng
+
+
+class TestEndToEnd:
+    def test_full_pipeline_from_scratch(self):
+        rng = ensure_rng(42)
+        clean = behavior_multiplex(
+            num_users=120, num_items=60,
+            edge_counts={"View": 600, "Cart": 120, "Buy": 80},
+            num_features=16, rng=rng)
+        graph, labels, report = inject_anomalies(
+            clean, clique_size=4, num_cliques=2, rng=rng, attribute_count=8)
+        assert labels.sum() == 16
+
+        model = UMGAD(UMGADConfig(epochs=12, hidden_dim=16, mask_repeats=1,
+                                  seed=0)).fit(graph)
+        scores = model.decision_scores()
+        auc = roc_auc(labels, scores)
+        assert auc > 0.65
+
+        result = select_threshold(scores)
+        predictions = (scores >= result.threshold).astype(int)
+        assert 0 < predictions.sum() < graph.num_nodes
+        assert macro_f1(labels, predictions) > 0.4
+
+    def test_umgad_beats_weak_baseline_on_retail(self, tiny_dataset):
+        umgad = UMGAD(UMGADConfig(epochs=12, hidden_dim=16, mask_repeats=1,
+                                  seed=0)).fit(tiny_dataset.graph)
+        weak = make_baseline("CoLA", seed=0, epochs=8).fit(tiny_dataset.graph)
+        auc_umgad = roc_auc(tiny_dataset.labels, umgad.decision_scores())
+        auc_weak = roc_auc(tiny_dataset.labels, weak.decision_scores())
+        assert auc_umgad > auc_weak - 0.05  # never dramatically worse
+
+    def test_protocols_disagree_only_on_f1(self, fitted_umgad, tiny_dataset):
+        scores = fitted_umgad.decision_scores()
+        unsup = evaluate_unsupervised(tiny_dataset.labels, scores)
+        leak = evaluate_gt_leakage(tiny_dataset.labels, scores)
+        assert unsup.auc == pytest.approx(leak.auc)
+
+    def test_public_api_surface(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_multi_dataset_generation_distinct(self):
+        retail = load_dataset("retail", scale=0.12, seed=1)
+        amazon = load_dataset("amazon", scale=0.12, seed=1)
+        assert retail.info.kind == "injected"
+        assert amazon.info.kind == "real"
+        assert retail.graph.relation_names != amazon.graph.relation_names
+
+    def test_threshold_number_tracks_anomalies_on_easy_data(self):
+        """Fig. 2's headline property on an easy synthetic curve."""
+        rng = np.random.default_rng(0)
+        labels = np.zeros(800, dtype=int)
+        labels[:40] = 1
+        scores = labels * 2.0 + rng.random(800) * 0.5
+        result = select_threshold(scores)
+        assert abs(result.num_anomalies - 40) <= 15

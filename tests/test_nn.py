@@ -1,0 +1,226 @@
+"""nn package: Module tree, layers, optimisers, initialisers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, ops
+from repro.nn import (
+    Adam,
+    GATConv,
+    GCNConv,
+    Linear,
+    Module,
+    ModuleList,
+    Parameter,
+    SGCConv,
+    SGD,
+    init,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class _Toy(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.fc1 = Linear(4, 8, rng)
+        self.fc2 = Linear(8, 2, rng)
+        self.extra = Parameter(np.zeros(3), name="extra")
+        self.stack = ModuleList([Linear(2, 2, rng)])
+
+    def forward(self, x):
+        return self.fc2(ops.relu(self.fc1(x)))
+
+
+class TestModule:
+    def test_parameter_discovery(self, rng):
+        m = _Toy(rng)
+        names = dict(m.named_parameters())
+        assert "fc1.weight" in names and "fc2.bias" in names
+        assert "extra" in names
+        assert "stack.0.weight" in names
+        # fc1 w+b, fc2 w+b, extra, stack linear w+b
+        assert len(names) == 7
+
+    def test_num_parameters(self, rng):
+        m = _Toy(rng)
+        expected = 4 * 8 + 8 + 8 * 2 + 2 + 3 + 2 * 2 + 2
+        assert m.num_parameters() == expected
+
+    def test_zero_grad(self, rng):
+        m = _Toy(rng)
+        out = ops.sum(m(Tensor(np.ones((2, 4)))))
+        out.backward()
+        assert m.fc1.weight.grad is not None
+        m.zero_grad()
+        assert m.fc1.weight.grad is None
+
+    def test_train_eval_propagates(self, rng):
+        m = _Toy(rng)
+        m.eval()
+        assert not m.training and not m.fc1.training
+        m.train()
+        assert m.training and m.stack[0].training
+
+    def test_state_dict_roundtrip(self, rng):
+        m1, m2 = _Toy(rng), _Toy(np.random.default_rng(99))
+        m2.load_state_dict(m1.state_dict())
+        np.testing.assert_allclose(m1.fc1.weight.data, m2.fc1.weight.data)
+
+    def test_state_dict_mismatch_raises(self, rng):
+        m = _Toy(rng)
+        state = m.state_dict()
+        state.pop("extra")
+        with pytest.raises(KeyError, match="missing"):
+            m.load_state_dict(state)
+
+    def test_state_dict_shape_mismatch_raises(self, rng):
+        m = _Toy(rng)
+        state = m.state_dict()
+        state["extra"] = np.zeros(5)
+        with pytest.raises(ValueError, match="shape"):
+            m.load_state_dict(state)
+
+    def test_state_dict_is_copy(self, rng):
+        m = _Toy(rng)
+        state = m.state_dict()
+        state["extra"][:] = 99.0
+        assert not np.any(m.extra.data == 99.0)
+
+
+class TestLayers:
+    def test_linear_shapes(self, rng):
+        layer = Linear(4, 6, rng)
+        out = layer(Tensor(np.ones((3, 4))))
+        assert out.shape == (3, 6)
+
+    def test_linear_no_bias(self, rng):
+        layer = Linear(4, 6, rng, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_gcn_conv(self, rng, tiny_relation):
+        layer = GCNConv(8, 4, rng)
+        x = Tensor(rng.normal(size=(30, 8)))
+        out = layer(x, tiny_relation.sym_propagator())
+        assert out.shape == (30, 4)
+
+    def test_sgc_propagation_depth(self, rng, tiny_relation):
+        x = Tensor(rng.normal(size=(30, 8)))
+        shallow = SGCConv(8, 4, rng, propagation=1)
+        deep = SGCConv(8, 4, rng, propagation=3)
+        deep.weight.data = shallow.weight.data.copy()
+        deep.bias.data = shallow.bias.data.copy()
+        prop = tiny_relation.sym_propagator()
+        assert not np.allclose(shallow(x, prop).data, deep(x, prop).data)
+
+    def test_gat_output_shapes(self, rng):
+        src = np.array([0, 1, 2, 3])
+        dst = np.array([1, 2, 3, 0])
+        x = Tensor(rng.normal(size=(4, 5)))
+        concat = GATConv(5, 6, rng, heads=2, concat_heads=True)
+        mean = GATConv(5, 6, rng, heads=2, concat_heads=False)
+        assert concat(x, src, dst).shape == (4, 12)
+        assert mean(x, src, dst).shape == (4, 6)
+
+    def test_gat_gradients_flow_to_attention(self, rng):
+        src = np.array([0, 1, 2])
+        dst = np.array([1, 2, 0])
+        layer = GATConv(3, 4, rng)
+        x = Tensor(rng.normal(size=(3, 3)))
+        ops.sum(ops.mul(layer(x, src, dst), 1.0)).backward()
+        assert layer.att_src.grad is not None
+        assert layer.att_dst.grad is not None
+        assert layer.weight.grad is not None
+
+    def test_gat_isolated_node_gets_self_loop(self, rng):
+        # node 3 has no edges; with self loops output should still be finite
+        src = np.array([0, 1])
+        dst = np.array([1, 0])
+        layer = GATConv(3, 4, rng)
+        out = layer(Tensor(rng.normal(size=(4, 3))), src, dst)
+        assert np.all(np.isfinite(out.data))
+
+
+class TestInit:
+    def test_xavier_uniform_bounds(self, rng):
+        w = init.xavier_uniform((100, 50), rng)
+        limit = np.sqrt(6.0 / 150)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_xavier_normal_std(self, rng):
+        w = init.xavier_normal((400, 400), rng)
+        assert abs(w.std() - np.sqrt(2.0 / 800)) < 5e-4
+
+    def test_zeros(self):
+        assert np.all(init.zeros((3, 3)) == 0)
+
+
+class TestOptimizers:
+    def _quadratic_problem(self):
+        target = np.array([3.0, -2.0])
+        p = Parameter(np.zeros(2))
+
+        def loss():
+            diff = ops.sub(p, target)
+            return ops.sum(ops.mul(diff, diff))
+
+        return p, loss, target
+
+    def test_sgd_converges(self):
+        p, loss, target = self._quadratic_problem()
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            value = loss()
+            opt.zero_grad()
+            value.backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-3)
+
+    def test_sgd_momentum_converges(self):
+        p, loss, target = self._quadratic_problem()
+        opt = SGD([p], lr=0.05, momentum=0.9)
+        for _ in range(200):
+            value = loss()
+            opt.zero_grad()
+            value.backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=2e-2)
+
+    def test_adam_converges(self):
+        p, loss, target = self._quadratic_problem()
+        opt = Adam([p], lr=0.2)
+        for _ in range(200):
+            value = loss()
+            opt.zero_grad()
+            value.backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-2)
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([10.0]))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.zeros(1)
+        opt.step()
+        assert p.data[0] < 10.0
+
+    def test_clip_grad_norm(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.ones(4) * 100.0
+        opt = SGD([p], lr=0.1)
+        norm = opt.clip_grad_norm(1.0)
+        assert norm == pytest.approx(200.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            SGD([], lr=0.1)
+
+    def test_skips_none_grads(self):
+        p = Parameter(np.ones(2))
+        opt = Adam([p], lr=0.1)
+        opt.step()  # no grad set; must not crash
+        np.testing.assert_allclose(p.data, np.ones(2))

@@ -1,0 +1,105 @@
+"""Failure injection: degenerate inputs must work or fail loudly."""
+
+import numpy as np
+import pytest
+
+from repro.core import UMGAD, UMGADConfig
+from repro.graphs import MultiplexGraph, RelationGraph
+from repro.baselines import make_baseline
+
+
+def micro_cfg(**kw):
+    base = dict(epochs=2, mask_repeats=1, hidden_dim=4, seed=0,
+                num_subgraphs=1, subgraph_size=3)
+    base.update(kw)
+    return UMGADConfig(**base)
+
+
+def build_graph(n, edges_per_rel, f=6, seed=0):
+    rng = np.random.default_rng(seed)
+    relations = {}
+    for i, edges in enumerate(edges_per_rel):
+        relations[f"r{i}"] = RelationGraph(n, np.asarray(edges).reshape(-1, 2),
+                                           name=f"r{i}")
+    return MultiplexGraph(x=rng.normal(size=(n, f)), relations=relations)
+
+
+class TestDegenerateGraphs:
+    def test_one_empty_relation(self):
+        graph = build_graph(20, [
+            [[i, (i + 1) % 20] for i in range(20)],
+            [],  # empty relation
+        ])
+        model = UMGAD(micro_cfg()).fit(graph)
+        assert np.all(np.isfinite(model.decision_scores()))
+
+    def test_many_isolated_nodes(self):
+        # only 4 of 30 nodes have any edges
+        graph = build_graph(30, [[[0, 1], [2, 3]]])
+        model = UMGAD(micro_cfg()).fit(graph)
+        scores = model.decision_scores()
+        assert np.all(np.isfinite(scores))
+
+    def test_single_relation(self):
+        graph = build_graph(15, [[[i, (i + 1) % 15] for i in range(15)]])
+        model = UMGAD(micro_cfg()).fit(graph)
+        assert len(model.relation_importance) == 1
+
+    def test_constant_features(self):
+        rng = np.random.default_rng(0)
+        edges = rng.integers(0, 20, size=(40, 2))
+        graph = MultiplexGraph(x=np.ones((20, 5)),
+                               relations={"r": RelationGraph(20, edges)})
+        model = UMGAD(micro_cfg()).fit(graph)
+        assert np.all(np.isfinite(model.decision_scores()))
+
+    def test_dense_graph(self):
+        n = 12
+        iu, iv = np.triu_indices(n, k=1)
+        graph = build_graph(n, [np.stack([iu, iv], axis=1)])
+        model = UMGAD(micro_cfg()).fit(graph)
+        assert np.all(np.isfinite(model.decision_scores()))
+
+    def test_two_node_components(self):
+        edges = [[2 * i, 2 * i + 1] for i in range(10)]
+        graph = build_graph(20, [edges])
+        model = UMGAD(micro_cfg()).fit(graph)
+        assert np.all(np.isfinite(model.decision_scores()))
+
+
+class TestBaselineRobustness:
+    @pytest.mark.parametrize("name", ["GADAM", "TAM", "RAND", "PREM",
+                                      "DOMINANT", "Radar"])
+    def test_isolated_nodes(self, name):
+        graph = build_graph(25, [[[0, 1], [1, 2], [3, 4]]])
+        det = make_baseline(name, seed=0, epochs=3)
+        det.fit(graph)
+        assert np.all(np.isfinite(det.decision_scores()))
+
+    @pytest.mark.parametrize("name", ["AnomMAN", "DualGAD"])
+    def test_multiview_with_empty_relation(self, name):
+        graph = build_graph(20, [
+            [[i, (i + 1) % 20] for i in range(20)],
+            [[0, 1]],
+        ])
+        det = make_baseline(name, seed=0, epochs=3)
+        det.fit(graph)
+        assert np.all(np.isfinite(det.decision_scores()))
+
+
+class TestMaskEdgeCases:
+    def test_mask_ratio_extremes(self):
+        graph = build_graph(30, [[[i, (i + 1) % 30] for i in range(30)]])
+        for ratio in (0.05, 0.9):
+            model = UMGAD(micro_cfg(mask_ratio=ratio)).fit(graph)
+            assert np.all(np.isfinite(model.decision_scores()))
+
+    def test_subgraph_bigger_than_graph(self):
+        graph = build_graph(10, [[[i, (i + 1) % 10] for i in range(10)]])
+        model = UMGAD(micro_cfg(subgraph_size=50, num_subgraphs=3)).fit(graph)
+        assert np.all(np.isfinite(model.decision_scores()))
+
+    def test_large_mask_repeats(self):
+        graph = build_graph(15, [[[i, (i + 1) % 15] for i in range(15)]])
+        model = UMGAD(micro_cfg(mask_repeats=4)).fit(graph)
+        assert len(model.loss_history) == 2

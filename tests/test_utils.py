@@ -1,0 +1,51 @@
+"""Utilities: RNG threading and timers."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import Timer, ensure_rng, spawn
+
+
+class TestRng:
+    def test_ensure_rng_from_int(self):
+        a, b = ensure_rng(7), ensure_rng(7)
+        assert a.random() == b.random()
+
+    def test_ensure_rng_passthrough(self):
+        rng = np.random.default_rng(1)
+        assert ensure_rng(rng) is rng
+
+    def test_ensure_rng_none(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_spawn_independent(self):
+        children = spawn(ensure_rng(0), 3)
+        assert len(children) == 3
+        vals = [c.random() for c in children]
+        assert len(set(vals)) == 3
+
+
+class TestTimer:
+    def test_measure_accumulates(self):
+        timer = Timer()
+        for _ in range(3):
+            with timer.measure("op"):
+                time.sleep(0.001)
+        assert timer.count("op") == 3
+        assert timer.total("op") >= 0.003
+        assert timer.mean("op") == pytest.approx(timer.total("op") / 3)
+
+    def test_unknown_span_zero(self):
+        timer = Timer()
+        assert timer.total("nope") == 0.0
+        assert timer.mean("nope") == 0.0
+        assert timer.count("nope") == 0
+
+    def test_exception_still_recorded(self):
+        timer = Timer()
+        with pytest.raises(RuntimeError):
+            with timer.measure("op"):
+                raise RuntimeError("boom")
+        assert timer.count("op") == 1
