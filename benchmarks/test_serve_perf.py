@@ -1,0 +1,80 @@
+"""Serving-latency trajectory: cold fit vs checkpoint load vs warm cache.
+
+Not a paper table — this tracks what the persistence subsystem
+(:mod:`repro.serve`) buys over the pre-serve workflow, where every scoring
+request paid a full ``fit()``. The acceptance bar: a warm-cache request
+through :class:`DetectorService` must be measurably (in practice: orders
+of magnitude) faster than refitting from scratch.
+"""
+
+import time
+
+from conftest import save_and_echo
+
+from repro.core import UMGAD, UMGADConfig
+from repro.datasets import load_dataset
+from repro.serve import DetectorService, run_serve_bench, save_checkpoint
+
+
+def _fit(graph, profile):
+    config = UMGADConfig(epochs=profile.umgad_epochs, seed=0)
+    start = time.perf_counter()
+    model = UMGAD(config).fit(graph)
+    return model, time.perf_counter() - start
+
+
+def test_warm_cache_beats_cold_fit(profile, output_dir):
+    dataset = load_dataset("retail", scale=profile.dataset_scale,
+                           num_features=profile.num_features,
+                           seed=profile.data_seed)
+    model, fit_seconds = _fit(dataset.graph, profile)
+    checkpoint = output_dir / "serve_perf_model.npz"
+    save_checkpoint(checkpoint, model, graph=dataset.graph)
+
+    result = run_serve_bench(checkpoint, dataset.graph, requests=25,
+                             fit_seconds=fit_seconds)
+
+    report = "\n".join([
+        f"graph: {dataset.graph}",
+        result.render(),
+        f"warm vs fit speedup: {result.warm_speedup_vs_fit:.1f}x",
+    ])
+    save_and_echo(output_dir, "serve_perf", report)
+
+    # The whole point of repro.serve: answering from the warm cache must be
+    # much cheaper than refitting per request.
+    assert result.warm_seconds < fit_seconds
+    assert result.warm_speedup_vs_fit > 10.0
+    assert result.warm_seconds <= result.cold_seconds
+
+
+def test_warm_cache_beats_fresh_scoring_pass(profile, output_dir):
+    """On a graph the model was NOT fitted on, the first request pays a full
+    scoring pass; repeats must come from the cache, not recompute."""
+    dataset = load_dataset("retail", scale=profile.dataset_scale,
+                           num_features=profile.num_features,
+                           seed=profile.data_seed)
+    fresh = load_dataset("retail", scale=profile.dataset_scale,
+                         num_features=profile.num_features,
+                         seed=profile.data_seed + 1)
+    model, _ = _fit(dataset.graph, profile)
+    checkpoint = output_dir / "serve_perf_model_fresh.npz"
+    save_checkpoint(checkpoint, model, graph=dataset.graph)
+
+    service = DetectorService(checkpoint)
+    start = time.perf_counter()
+    service.scores(fresh.graph)
+    cold = time.perf_counter() - start
+
+    start = time.perf_counter()
+    repeats = 25
+    for _ in range(repeats):
+        service.scores(fresh.graph)
+    warm = (time.perf_counter() - start) / repeats
+
+    save_and_echo(
+        output_dir, "serve_perf_fresh_graph",
+        f"cold scoring pass {cold * 1e3:.2f} ms, warm cache "
+        f"{warm * 1e3:.3f} ms ({cold / max(warm, 1e-12):.1f}x)")
+    assert service.stats.hits == repeats
+    assert warm < cold

@@ -8,6 +8,8 @@ Public surface (see README for a tour):
 * :mod:`repro.baselines` — all 22 comparison methods.
 * :mod:`repro.eval` — metrics, protocols, multi-seed runner.
 * :mod:`repro.experiments` — one module per paper table/figure.
+* :mod:`repro.serve` — checkpoints, :class:`DetectorService`,
+  :class:`ModelRegistry` (train once, score many).
 """
 
 from .core import UMGAD, UMGADConfig, ablation_config, select_threshold

@@ -1,21 +1,32 @@
 """Command-line interface.
 
-Three subcommands::
+Subcommands::
 
     python -m repro.cli detect --dataset retail --scale 0.3 --epochs 30
-    python -m repro.cli detect --graph my_graph.npz --explain 5
+    python -m repro.cli detect --graph my_graph.npz --save model.npz
+    python -m repro.cli save --dataset retail --out model.npz
+    python -m repro.cli score --model model.npz --graph my_graph.npz
+    python -m repro.cli serve-bench --model model.npz --graph my_graph.npz
     python -m repro.cli experiment table2 --profile fast
     python -m repro.cli datasets
 
 ``detect`` fits UMGAD on a named dataset or a saved ``.npz`` multiplex
 archive, prints the label-free threshold decision and (when labels exist)
-AUC / Macro-F1. ``experiment`` regenerates one paper table/figure.
+AUC / Macro-F1; ``--save`` checkpoints the fitted model. ``save`` is the
+train-once entry point (fit + checkpoint, nothing else). ``score`` answers
+from a checkpoint without retraining, ``serve-bench`` measures cold-load vs
+warm-cache serving latency, and ``experiment`` regenerates one paper
+table/figure. ``detect``/``score``/``serve-bench`` take ``--output json``
+for machine-readable results.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
+import time
 
 import numpy as np
 
@@ -38,25 +49,70 @@ _EXPERIMENTS = {
 _PROFILES = {"fast": experiments.FAST, "full": experiments.FULL}
 
 
+def _add_source_args(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--dataset", choices=available_datasets(),
+                        help="built-in dataset name")
+    source.add_argument("--graph", help="path to a saved .npz multiplex archive")
+    parser.add_argument("--scale", type=float, default=0.3,
+                        help="dataset scale (built-in datasets only)")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_training_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--epochs", type=int, default=30)
+    parser.add_argument("--mask-ratio", type=float, default=0.4)
+
+
+def _add_output_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--output", choices=("text", "json"), default="text",
+                        help="result format (json is machine-readable)")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="UMGAD reproduction CLI")
     sub = parser.add_subparsers(dest="command", required=True)
 
     detect = sub.add_parser("detect", help="fit UMGAD and flag anomalies")
-    source = detect.add_mutually_exclusive_group(required=True)
-    source.add_argument("--dataset", choices=available_datasets(),
-                        help="built-in dataset name")
-    source.add_argument("--graph", help="path to a saved .npz multiplex archive")
-    detect.add_argument("--scale", type=float, default=0.3,
-                        help="dataset scale (built-in datasets only)")
-    detect.add_argument("--epochs", type=int, default=30)
-    detect.add_argument("--mask-ratio", type=float, default=0.4)
-    detect.add_argument("--seed", type=int, default=0)
+    _add_source_args(detect)
+    _add_training_args(detect)
     detect.add_argument("--top", type=int, default=10,
                         help="print the top-K scored nodes")
     detect.add_argument("--explain", type=int, default=0, metavar="K",
                         help="print evidence for the K highest-scoring nodes")
+    detect.add_argument("--save", metavar="PATH",
+                        help="checkpoint the fitted model to PATH")
+    _add_output_arg(detect)
+
+    save = sub.add_parser(
+        "save", help="fit UMGAD and checkpoint it (no reporting)")
+    _add_source_args(save)
+    _add_training_args(save)
+    save.add_argument("--out", required=True, metavar="PATH",
+                      help="checkpoint destination (.npz)")
+    _add_output_arg(save)
+
+    score = sub.add_parser(
+        "score", help="score a graph with a saved checkpoint (no retraining)")
+    score.add_argument("--model", required=True,
+                       help="checkpoint written by 'save' or 'detect --save'")
+    _add_source_args(score)
+    score.add_argument("--top", type=int, default=10,
+                       help="print the top-K scored nodes")
+    score.add_argument("--node", type=int, default=None,
+                       help="print one node's score only")
+    score.add_argument("--explain", type=int, default=0, metavar="K",
+                       help="print evidence for the K highest-scoring nodes")
+    _add_output_arg(score)
+
+    bench = sub.add_parser(
+        "serve-bench", help="measure cold vs warm serving latency")
+    bench.add_argument("--model", required=True, help="checkpoint to serve")
+    _add_source_args(bench)
+    bench.add_argument("--requests", type=int, default=20,
+                       help="warm-cache requests to average over")
+    _add_output_arg(bench)
 
     experiment = sub.add_parser("experiment",
                                 help="regenerate a paper table/figure")
@@ -68,40 +124,181 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_detect(args) -> int:
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+def _load_source(args):
+    """(graph, labels, source-name) from --dataset or --graph."""
     if args.dataset:
         dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
-        graph, labels = dataset.graph, dataset.labels
-        print(f"loaded {args.dataset}: {graph}")
+        return dataset.graph, dataset.labels, args.dataset
+    graph, labels = load_multiplex(args.graph)
+    return graph, labels, args.graph
+
+
+def _emit(args, payload: dict, text: str) -> None:
+    if args.output == "json":
+        print(json.dumps(payload, default=float))
     else:
-        graph, labels = load_multiplex(args.graph)
-        print(f"loaded {args.graph}: {graph}")
+        print(text)
 
-    config = UMGADConfig(epochs=args.epochs, mask_ratio=args.mask_ratio,
-                         seed=args.seed)
-    model = UMGAD(config).fit(graph)
-    scores = model.decision_scores()
-    result = model.threshold()
-    print(f"threshold {result.threshold:.4f} flags {result.num_anomalies} "
-          f"of {graph.num_nodes} nodes (window={result.window})")
-    print("relation importance:",
-          {k: round(v, 3) for k, v in model.relation_importance.items()})
 
-    order = np.argsort(-scores)[:args.top]
-    print(f"top-{args.top} nodes: " + ", ".join(
-        f"{int(i)}({scores[i]:.3f})" for i in order))
+def _threshold_payload(result) -> dict:
+    return {
+        "threshold": result.threshold,
+        "index": result.index,
+        "num_anomalies": result.num_anomalies,
+        "window": result.window,
+    }
 
+
+def _result_payload(scores: np.ndarray, result, top: int,
+                    labels=None) -> dict:
+    order = np.argsort(-scores)[:top]
+    payload = {
+        "num_nodes": int(scores.size),
+        "threshold": _threshold_payload(result),
+        "scores": scores.tolist(),
+        "flagged": np.flatnonzero(scores >= result.threshold).tolist(),
+        "top": [{"node": int(i), "score": float(scores[i])} for i in order],
+    }
     if labels is not None and 0 < labels.sum() < labels.size:
         predictions = (scores >= result.threshold).astype(int)
-        print(f"AUC={roc_auc(labels, scores):.3f} "
-              f"Macro-F1={macro_f1(labels, predictions):.3f} "
-              f"(true anomalies: {int(labels.sum())})")
+        payload["metrics"] = {
+            "auc": roc_auc(labels, scores),
+            "macro_f1": macro_f1(labels, predictions),
+            "true_anomalies": int(labels.sum()),
+        }
+    return payload
 
-    if args.explain:
-        explainer = AnomalyExplainer(model, graph)
-        for explanation in explainer.top_anomalies(args.explain):
-            print()
-            print(explanation.summary())
+
+def _render_result(payload: dict) -> str:
+    result = payload["threshold"]
+    lines = [
+        f"threshold {result['threshold']:.4f} flags "
+        f"{result['num_anomalies']} of {payload['num_nodes']} nodes "
+        f"(window={result['window']})",
+    ]
+    if "relation_importance" in payload:
+        rounded = {k: round(v, 3)
+                   for k, v in payload["relation_importance"].items()}
+        lines.append(f"relation importance: {rounded}")
+    top = payload["top"]
+    lines.append(f"top-{len(top)} nodes: " + ", ".join(
+        f"{row['node']}({row['score']:.3f})" for row in top))
+    if "metrics" in payload:
+        metrics = payload["metrics"]
+        lines.append(f"AUC={metrics['auc']:.3f} "
+                     f"Macro-F1={metrics['macro_f1']:.3f} "
+                     f"(true anomalies: {metrics['true_anomalies']})")
+    return "\n".join(lines)
+
+
+def _explanations(model: UMGAD, graph, k: int, scores=None) -> list:
+    explainer = AnomalyExplainer(model, graph, scores=scores)
+    return explainer.top_anomalies(k)
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+def _fit_model(args, graph) -> UMGAD:
+    config = UMGADConfig(epochs=args.epochs, mask_ratio=args.mask_ratio,
+                         seed=args.seed)
+    return UMGAD(config).fit(graph)
+
+
+def _run_detect(args) -> int:
+    graph, labels, source = _load_source(args)
+    if args.output == "text":
+        print(f"loaded {source}: {graph}")
+
+    model = _fit_model(args, graph)
+    scores = model.decision_scores()
+    result = model.threshold()
+
+    payload = _result_payload(scores, result, args.top, labels)
+    payload["source"] = source
+    payload["relation_importance"] = model.relation_importance
+    if args.save:
+        saved = model.save(args.save, graph=graph)
+        payload["checkpoint"] = str(saved)
+    explanations = (_explanations(model, graph, args.explain)
+                    if args.explain else [])
+    if explanations:
+        payload["explanations"] = [dataclasses.asdict(e) for e in explanations]
+    text = _render_result(payload)
+    if args.save and args.output == "text":
+        text += f"\nsaved checkpoint to {payload['checkpoint']}"
+    text += "".join("\n\n" + e.summary() for e in explanations)
+    _emit(args, payload, text)
+    return 0
+
+
+def _run_save(args) -> int:
+    graph, _labels, source = _load_source(args)
+    start = time.perf_counter()
+    model = _fit_model(args, graph)
+    fit_seconds = time.perf_counter() - start
+    saved = model.save(args.out, graph=graph)
+    payload = {
+        "source": source,
+        "checkpoint": str(saved),
+        "num_nodes": graph.num_nodes,
+        "fit_seconds": fit_seconds,
+        "threshold": _threshold_payload(model.threshold()),
+    }
+    _emit(args, payload,
+          f"fitted on {source} in {fit_seconds:.2f}s; "
+          f"saved checkpoint to {saved}")
+    return 0
+
+
+def _run_score(args) -> int:
+    from .serve import DetectorService
+
+    graph, labels, source = _load_source(args)
+    service = DetectorService(args.model)
+
+    if args.node is not None:
+        value = service.score_node(graph, args.node)
+        payload = {"source": source, "node": args.node, "score": value}
+        text = f"node {args.node}: score {value:.4f}"
+        if args.explain:
+            explanation = service.explain(graph, args.node)
+            payload["explanation"] = dataclasses.asdict(explanation)
+            text += "\n" + explanation.summary()
+        _emit(args, payload, text)
+        return 0
+
+    scores = service.scores(graph)
+    result = service.threshold(graph)
+    payload = _result_payload(scores, result, args.top, labels)
+    payload["source"] = source
+    payload["model"] = args.model
+    model = service.detector
+    if isinstance(model, UMGAD):
+        payload["relation_importance"] = model.relation_importance
+    explanations = [service.explain(graph, node)
+                    for node, _score in service.top_k(graph, args.explain)
+                    ] if args.explain else []
+    if explanations:
+        payload["explanations"] = [dataclasses.asdict(e) for e in explanations]
+    text = _render_result(payload)
+    text += "".join("\n\n" + e.summary() for e in explanations)
+    _emit(args, payload, text)
+    return 0
+
+
+def _run_serve_bench(args) -> int:
+    from .serve import run_serve_bench
+
+    graph, _labels, source = _load_source(args)
+    result = run_serve_bench(args.model, graph, requests=args.requests)
+    payload = {"source": source, "model": args.model, **result.to_dict()}
+    _emit(args, payload, result.render())
     return 0
 
 
@@ -117,6 +314,23 @@ def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "detect":
         return _run_detect(args)
+    if args.command == "save":
+        return _run_save(args)
+    if args.command in ("score", "serve-bench"):
+        # Serving commands run against user-supplied artifacts; turn the
+        # operational failure modes (bad checkpoint, wrong graph, bad node)
+        # into one-line errors instead of tracebacks. Training commands
+        # keep full tracebacks — their failures are bugs, not user input.
+        from .serve import CheckpointError, ServiceError
+
+        try:
+            if args.command == "score":
+                return _run_score(args)
+            return _run_serve_bench(args)
+        except (CheckpointError, ServiceError, FileNotFoundError,
+                ValueError, IndexError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
     if args.command == "experiment":
         return _run_experiment(args)
     if args.command == "datasets":

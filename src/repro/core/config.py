@@ -8,8 +8,8 @@ sized for the scaled datasets this repo generates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Dict, Optional
 
 
 @dataclass
@@ -123,6 +123,28 @@ class UMGADConfig:
     def variant(self, **overrides) -> "UMGADConfig":
         """Copy with overrides (used by ablations and sweeps)."""
         return replace(self, **overrides)
+
+    # ------------------------------------------------------------------
+    # Serialization (checkpoint headers, repro.serve)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON representation (all fields are scalars/strings)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object],
+                  strict: bool = False) -> "UMGADConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys are ignored by default so checkpoints written by a
+        newer code version (extra knobs) still load; ``strict=True`` turns
+        them into errors instead.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown and strict:
+            raise ValueError(f"unknown UMGADConfig fields: {unknown}")
+        return cls(**{k: v for k, v in payload.items() if k in known})
 
 
 def ablation_config(base: UMGADConfig, name: str) -> UMGADConfig:

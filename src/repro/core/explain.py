@@ -17,7 +17,7 @@ UMGAD model's score into interpretable evidence:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -66,11 +66,15 @@ class AnomalyExplainer:
         print(explainer.explain(worst_node).summary())
     """
 
-    def __init__(self, model: UMGAD, graph: MultiplexGraph):
+    def __init__(self, model: UMGAD, graph: MultiplexGraph,
+                 scores: Optional[np.ndarray] = None):
         if model.networks is None:
             raise RuntimeError("fit the model before explaining")
         self.model = model
         self.graph = graph
+        # ``scores`` lets the serving layer explain a graph other than the
+        # training graph (whose scores are what decision_scores() returns).
+        self._scores_override = scores
         self._prepare()
 
     def _prepare(self) -> None:
@@ -87,7 +91,8 @@ class AnomalyExplainer:
                 decoded, graph[name], cfg.structure_score_mode, model._rng,
                 negatives_per_node=cfg.structure_score_negatives,
                 exact_max_nodes=cfg.exact_score_max_nodes)
-        self._scores = model.decision_scores()
+        self._scores = (self._scores_override if self._scores_override
+                        is not None else model.decision_scores())
 
     @staticmethod
     def _percentile(values: np.ndarray, value: float) -> float:

@@ -93,6 +93,8 @@ class UMGAD(BaseDetector):
         self.timer = Timer()
         self._scores: Optional[np.ndarray] = None
         self._graph: Optional[MultiplexGraph] = None
+        self._relation_names: Optional[List[str]] = None
+        self._num_features: Optional[int] = None
         self._rng = ensure_rng(self.config.seed)
 
     # ------------------------------------------------------------------
@@ -101,6 +103,8 @@ class UMGAD(BaseDetector):
     def fit(self, graph: MultiplexGraph, verbose: bool = False) -> "UMGAD":
         cfg = self.config
         self._graph = graph
+        self._relation_names = graph.relation_names
+        self._num_features = graph.num_features
         self._rng = ensure_rng(cfg.seed)
         self.networks = _Networks(graph.num_relations, graph.num_features, cfg,
                                   self._rng)
@@ -438,7 +442,65 @@ class UMGAD(BaseDetector):
     @property
     def relation_importance(self) -> Dict[str, float]:
         """Learned attribute-fusion weights per relation (softmaxed a_r)."""
-        if self.networks is None or self._graph is None:
+        if self.networks is None or self._relation_names is None:
             raise RuntimeError("fit() the model first")
         weights = self._eval_fusion_weights()
-        return dict(zip(self._graph.relation_names, weights.tolist()))
+        return dict(zip(self._relation_names, weights.tolist()))
+
+    # ------------------------------------------------------------------
+    # Persistence + serving (repro.serve)
+    # ------------------------------------------------------------------
+    def build_networks(self, relation_names: List[str],
+                       num_features: int) -> "UMGAD":
+        """Allocate untrained networks with the right shapes.
+
+        Used by checkpoint loading: the freshly initialised weights are
+        immediately overwritten by :meth:`load_state_dict`, so only the
+        shapes (relation count, feature dim) matter here.
+        """
+        self._relation_names = list(relation_names)
+        self._num_features = int(num_features)
+        self.networks = _Networks(len(self._relation_names), self._num_features,
+                                  self.config, ensure_rng(self.config.seed))
+        return self
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Flat name → array dict of every trainable parameter."""
+        if self.networks is None:
+            raise RuntimeError("fit() the model before taking a state dict")
+        return self.networks.state_dict()
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Strictly load arrays produced by :meth:`state_dict`."""
+        if self.networks is None:
+            raise RuntimeError(
+                "allocate networks first (fit() or build_networks())")
+        self.networks.load_state_dict(state)
+
+    def score_graph(self, graph: MultiplexGraph,
+                    seed: Optional[int] = None) -> np.ndarray:
+        """Score a graph with the trained networks, without refitting.
+
+        Unlike the scores cached by :meth:`fit`, this pass seeds a fresh
+        generator (``seed`` or ``config.seed``) so repeated calls — and
+        calls on a checkpoint-loaded copy of the model — produce bitwise
+        identical results for the same graph.
+        """
+        if self.networks is None:
+            raise RuntimeError("fit() or load a checkpoint before scoring")
+        if self._num_features is not None and \
+                graph.num_features != self._num_features:
+            raise ValueError(
+                f"graph has {graph.num_features} features, model was trained "
+                f"with {self._num_features}")
+        if self._relation_names is not None and \
+                graph.num_relations != len(self._relation_names):
+            raise ValueError(
+                f"graph has {graph.num_relations} relations, model was "
+                f"trained with {len(self._relation_names)}")
+        saved_rng = self._rng
+        self._rng = ensure_rng(self.config.seed if seed is None else seed)
+        try:
+            return self._compute_scores(graph)
+        finally:
+            self._rng = saved_rng

@@ -13,7 +13,7 @@ paper's two protocols:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
@@ -29,6 +29,10 @@ class BaseDetector:
     #: set by subclasses once :meth:`fit` finishes
     _scores: Optional[np.ndarray] = None
 
+    #: (scores array, window, result) of the last threshold selection;
+    #: keyed by identity so a refit (new scores array) invalidates it
+    _threshold_cache: Optional[Tuple[np.ndarray, Optional[int], "ThresholdResult"]] = None
+
     def fit(self, graph: MultiplexGraph) -> "BaseDetector":  # pragma: no cover
         raise NotImplementedError
 
@@ -42,18 +46,27 @@ class BaseDetector:
 
     # ------------------------------------------------------------------
     def threshold(self, window: Optional[int] = None) -> "ThresholdResult":
-        """Unsupervised inflection-point threshold over the fitted scores."""
-        from .core.threshold import select_threshold
+        """Unsupervised inflection-point threshold over the fitted scores.
 
-        return select_threshold(self.decision_scores(), window=window)
-
-    def predict(self, window: Optional[int] = None) -> np.ndarray:
-        """0/1 predictions under the real-unsupervised protocol."""
+        The result is cached per (scores, window) so repeated calls —
+        including every :meth:`predict` — reuse one selection; serving
+        (:mod:`repro.serve`) relies on this to checkpoint and replay the
+        fitted :class:`~repro.core.threshold.ThresholdResult`.
+        """
         from .core.threshold import select_threshold
 
         scores = self.decision_scores()
+        cached = self._threshold_cache
+        if cached is not None and cached[0] is scores and cached[1] == window:
+            return cached[2]
         result = select_threshold(scores, window=window)
-        return (scores >= result.threshold).astype(np.int64)
+        self._threshold_cache = (scores, window, result)
+        return result
+
+    def predict(self, window: Optional[int] = None) -> np.ndarray:
+        """0/1 predictions under the real-unsupervised protocol."""
+        result = self.threshold(window=window)
+        return (self.decision_scores() >= result.threshold).astype(np.int64)
 
     def predict_with_known_count(self, num_anomalies: int) -> np.ndarray:
         """0/1 predictions under the ground-truth-leakage protocol."""
@@ -65,3 +78,11 @@ class BaseDetector:
                     window: Optional[int] = None) -> np.ndarray:
         self.fit(graph)
         return self.predict(window=window)
+
+    # ------------------------------------------------------------------
+    def save(self, path, graph: Optional[MultiplexGraph] = None):
+        """Checkpoint this fitted detector to ``path`` (see
+        :mod:`repro.serve.checkpoint`); returns the written path."""
+        from .serve.checkpoint import save_checkpoint
+
+        return save_checkpoint(path, self, graph=graph)

@@ -27,6 +27,7 @@ from .generators import (
 )
 from .io import (
     from_edge_dict,
+    graph_fingerprint,
     load_multiplex,
     read_edge_list,
     save_multiplex,
@@ -47,6 +48,7 @@ __all__ = [
     "edges_touching",
     "edges_within",
     "from_edge_dict",
+    "graph_fingerprint",
     "load_multiplex",
     "random_multiplex",
     "random_walk_with_restart",

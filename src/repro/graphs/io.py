@@ -7,6 +7,7 @@ labels) as a single compressed ``.npz`` archive.
 
 from __future__ import annotations
 
+import hashlib
 import pathlib
 from typing import Dict, Optional, Tuple
 
@@ -16,6 +17,26 @@ from .graph import RelationGraph
 from .multiplex import MultiplexGraph
 
 _RELATION_PREFIX = "edges::"
+
+
+def graph_fingerprint(graph: MultiplexGraph) -> str:
+    """Stable content hash of a multiplex graph (hex sha256).
+
+    Covers the attribute matrix and every relation's name + edge array, so
+    two graphs fingerprint equal iff a detector would score them equally.
+    The serving cache (:mod:`repro.serve.service`) keys on this.
+    """
+    digest = hashlib.sha256()
+    x = np.ascontiguousarray(graph.x)
+    digest.update(str(x.dtype).encode())
+    digest.update(repr(x.shape).encode())
+    digest.update(x.tobytes())
+    for name, rel in graph.relations.items():
+        edges = np.ascontiguousarray(rel.edges, dtype=np.int64)
+        digest.update(name.encode())
+        digest.update(repr(edges.shape).encode())
+        digest.update(edges.tobytes())
+    return digest.hexdigest()
 
 
 def save_multiplex(path, graph: MultiplexGraph,

@@ -102,6 +102,16 @@ class Module:
                 )
             param.data = state[name].copy()
 
+    def save_state(self, path) -> None:
+        """Write :meth:`state_dict` to a compressed ``.npz`` archive."""
+        np.savez_compressed(path, **self.state_dict())
+
+    def load_state(self, path) -> None:
+        """Load an archive written by :meth:`save_state` (strict)."""
+        with np.load(path) as archive:
+            self.load_state_dict({name: archive[name]
+                                  for name in archive.files})
+
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)
 

@@ -1,0 +1,40 @@
+"""Model persistence + detector serving.
+
+Turns fitted detectors into long-lived, queryable artifacts:
+
+* :mod:`repro.serve.checkpoint` — versioned, checksummed ``.npz``
+  checkpoints with a bitwise ``decision_scores()`` round-trip guarantee;
+* :mod:`repro.serve.service` — :class:`DetectorService`, load-once /
+  score-many with an LRU cache keyed by graph fingerprint;
+* :mod:`repro.serve.registry` — :class:`ModelRegistry`, named checkpoints
+  on disk;
+* :mod:`repro.serve.bench` — cold-vs-warm serving latency measurement.
+"""
+
+from .bench import ServeBenchResult, run_serve_bench
+from .checkpoint import (
+    FORMAT_VERSION,
+    CheckpointError,
+    detector_classes,
+    load_checkpoint,
+    read_header,
+    save_checkpoint,
+)
+from .registry import ModelInfo, ModelRegistry
+from .service import DetectorService, ServiceError, ServiceStats
+
+__all__ = [
+    "FORMAT_VERSION",
+    "CheckpointError",
+    "DetectorService",
+    "ModelInfo",
+    "ModelRegistry",
+    "ServeBenchResult",
+    "ServiceError",
+    "ServiceStats",
+    "detector_classes",
+    "load_checkpoint",
+    "read_header",
+    "run_serve_bench",
+    "save_checkpoint",
+]

@@ -1,0 +1,124 @@
+"""On-disk registry of named detector checkpoints.
+
+A :class:`ModelRegistry` manages a directory of ``<name>.npz`` checkpoints:
+save fitted detectors under stable names, enumerate what is deployed (with
+header metadata, no weight loading), and hand out ready-to-serve
+:class:`~repro.serve.service.DetectorService` instances.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..detection import BaseDetector
+from ..graphs.multiplex import MultiplexGraph
+from .checkpoint import CheckpointError, load_checkpoint, read_header, save_checkpoint
+from .service import DetectorService
+
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+_SUFFIX = ".npz"
+
+
+@dataclass(frozen=True)
+class ModelInfo:
+    """Header-level description of one registered checkpoint."""
+
+    name: str
+    path: pathlib.Path
+    detector: str
+    format_version: int
+    num_nodes: Optional[int]
+    size_bytes: int
+
+    def describe(self) -> str:
+        nodes = f"{self.num_nodes} nodes" if self.num_nodes else "n/a"
+        return (f"{self.name}: {self.detector} ({nodes}, "
+                f"{self.size_bytes / 1024:.1f} KiB, v{self.format_version})")
+
+
+class ModelRegistry:
+    """Named checkpoints under one root directory."""
+
+    def __init__(self, root):
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def path(self, name: str) -> pathlib.Path:
+        if not _NAME_PATTERN.match(name):
+            raise ValueError(
+                f"invalid model name {name!r}: use letters, digits, '.', "
+                "'_' and '-' only")
+        return self.root / (name + _SUFFIX)
+
+    def __contains__(self, name: str) -> bool:
+        return self.path(name).exists()
+
+    def __len__(self) -> int:
+        return len(self.names())
+
+    def names(self) -> List[str]:
+        return sorted(p.name[:-len(_SUFFIX)]
+                      for p in self.root.glob("*" + _SUFFIX))
+
+    # ------------------------------------------------------------------
+    def save(self, name: str, detector: BaseDetector,
+             graph: Optional[MultiplexGraph] = None,
+             overwrite: bool = False) -> pathlib.Path:
+        """Checkpoint ``detector`` under ``name``."""
+        path = self.path(name)
+        if path.exists() and not overwrite:
+            raise FileExistsError(
+                f"model {name!r} already registered at {path}; pass "
+                "overwrite=True to replace it")
+        return save_checkpoint(path, detector, graph=graph)
+
+    def load(self, name: str) -> BaseDetector:
+        path = self.path(name)
+        if not path.exists():
+            raise KeyError(
+                f"no model named {name!r} in {self.root}; "
+                f"available: {self.names()}")
+        return load_checkpoint(path)
+
+    def service(self, name: str, cache_size: int = 8) -> DetectorService:
+        """A ready-to-query service over the named checkpoint."""
+        path = self.path(name)
+        if not path.exists():
+            raise KeyError(
+                f"no model named {name!r} in {self.root}; "
+                f"available: {self.names()}")
+        return DetectorService(path, cache_size=cache_size)
+
+    def delete(self, name: str) -> None:
+        path = self.path(name)
+        if not path.exists():
+            raise KeyError(f"no model named {name!r} in {self.root}")
+        path.unlink()
+
+    # ------------------------------------------------------------------
+    def describe(self, name: str) -> ModelInfo:
+        """Header metadata for one checkpoint (weights stay on disk)."""
+        path = self.path(name)
+        header = read_header(path)
+        return ModelInfo(
+            name=name,
+            path=path,
+            detector=str(header.get("detector")),
+            format_version=int(header.get("format_version", 0)),
+            num_nodes=header.get("num_nodes"),
+            size_bytes=path.stat().st_size,
+        )
+
+    def list_models(self) -> List[ModelInfo]:
+        """Metadata for every registered checkpoint (skips unreadable files)."""
+        infos = []
+        for name in self.names():
+            try:
+                infos.append(self.describe(name))
+            except CheckpointError:
+                continue
+        return infos

@@ -1,0 +1,192 @@
+"""Long-lived detector serving with a fingerprint-keyed LRU result cache.
+
+A :class:`DetectorService` loads a checkpoint (or adopts a fitted detector)
+once and then answers repeated requests — full-graph scoring, per-node
+lookups, top-k queries, threshold decisions and per-node explanations —
+without ever refitting. Results are cached per graph *content* (the sha256
+fingerprint from :func:`repro.graphs.io.graph_fingerprint`), so asking
+about the same graph twice costs one dict lookup, regardless of object
+identity.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..detection import BaseDetector
+from ..graphs.io import graph_fingerprint
+from ..graphs.multiplex import MultiplexGraph
+from .checkpoint import load_checkpoint
+
+
+class ServiceError(RuntimeError):
+    """A serving request the loaded detector cannot answer."""
+
+
+@dataclass
+class ServiceStats:
+    """Cache telemetry for one :class:`DetectorService`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+
+@dataclass
+class _CacheEntry:
+    """Everything derived for one graph, computed lazily on demand."""
+
+    graph: MultiplexGraph
+    fingerprint: str
+    scores: np.ndarray
+    threshold: Optional[object] = None          # ThresholdResult
+    explainer: Optional[object] = None          # AnomalyExplainer
+    order: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def ranking(self) -> np.ndarray:
+        if self.order is None:
+            self.order = np.argsort(-self.scores)
+        return self.order
+
+
+class DetectorService:
+    """Load once, score many times.
+
+    Parameters
+    ----------
+    model:
+        A checkpoint path (anything :func:`repro.serve.checkpoint.load_checkpoint`
+        accepts) or an already-fitted :class:`~repro.detection.BaseDetector`.
+    cache_size:
+        Maximum number of distinct graphs whose results stay cached; the
+        least recently used entry is evicted beyond that.
+    """
+
+    def __init__(self, model, cache_size: int = 8):
+        if cache_size < 1:
+            raise ValueError(f"cache_size must be >= 1, got {cache_size}")
+        if isinstance(model, BaseDetector):
+            self.detector = model
+            self.checkpoint_path = None
+        else:
+            self.detector = load_checkpoint(model)
+            self.checkpoint_path = model
+        header = getattr(self.detector, "_checkpoint_header", {}) or {}
+        #: fingerprint of the graph the stored decision_scores() belong to
+        self.trained_fingerprint: Optional[str] = header.get("graph_fingerprint")
+        if self.trained_fingerprint is None:
+            trained_graph = getattr(self.detector, "_graph", None)
+            if trained_graph is not None:
+                self.trained_fingerprint = graph_fingerprint(trained_graph)
+        self.cache_size = cache_size
+        self.stats = ServiceStats()
+        self._cache: "OrderedDict[str, _CacheEntry]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+    def _compute_scores(self, graph: MultiplexGraph,
+                        fingerprint: str) -> np.ndarray:
+        detector = self.detector
+        if fingerprint == self.trained_fingerprint and \
+                detector._scores is not None:
+            return detector.decision_scores()
+        score_graph = getattr(detector, "score_graph", None)
+        if score_graph is None:
+            raise ServiceError(
+                f"{type(detector).__name__} keeps no reusable networks, so "
+                "it can only serve the graph it was fitted on (fingerprint "
+                "mismatch); refit or serve a UMGAD checkpoint instead")
+        return score_graph(graph)
+
+    def _entry(self, graph: MultiplexGraph) -> _CacheEntry:
+        fingerprint = graph_fingerprint(graph)
+        entry = self._cache.get(fingerprint)
+        if entry is not None:
+            self.stats.hits += 1
+            self._cache.move_to_end(fingerprint)
+            return entry
+        self.stats.misses += 1
+        entry = _CacheEntry(graph=graph, fingerprint=fingerprint,
+                            scores=self._compute_scores(graph, fingerprint))
+        self._cache[fingerprint] = entry
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+            self.stats.evictions += 1
+        return entry
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def scores(self, graph: MultiplexGraph) -> np.ndarray:
+        """Per-node anomaly scores for ``graph`` (cached)."""
+        return self._entry(graph).scores
+
+    def score_node(self, graph: MultiplexGraph, node: int) -> float:
+        """One node's anomaly score."""
+        scores = self.scores(graph)
+        node = int(node)
+        if not 0 <= node < scores.size:
+            raise IndexError(f"node {node} out of range [0, {scores.size})")
+        return float(scores[node])
+
+    def top_k(self, graph: MultiplexGraph,
+              k: int = 10) -> List[Tuple[int, float]]:
+        """The ``k`` highest-scoring nodes as (node, score) pairs."""
+        entry = self._entry(graph)
+        order = entry.ranking()[:max(int(k), 0)]
+        return [(int(i), float(entry.scores[i])) for i in order]
+
+    def _entry_threshold(self, entry: _CacheEntry):
+        from ..core.threshold import select_threshold
+
+        if entry.threshold is None:
+            if entry.fingerprint == self.trained_fingerprint:
+                # reuse the fitted (possibly checkpoint-restored) result
+                entry.threshold = self.detector.threshold()
+            else:
+                entry.threshold = select_threshold(entry.scores)
+        return entry.threshold
+
+    def threshold(self, graph: MultiplexGraph):
+        """The label-free inflection-point threshold for ``graph``'s scores."""
+        return self._entry_threshold(self._entry(graph))
+
+    def predict(self, graph: MultiplexGraph) -> np.ndarray:
+        """0/1 anomaly flags under the unsupervised threshold."""
+        entry = self._entry(graph)
+        result = self._entry_threshold(entry)
+        return (entry.scores >= result.threshold).astype(np.int64)
+
+    def explain(self, graph: MultiplexGraph, node: int, top_features: int = 5):
+        """Evidence bundle for one node (UMGAD checkpoints only)."""
+        from ..core.explain import AnomalyExplainer
+        from ..core.model import UMGAD
+
+        if not isinstance(self.detector, UMGAD):
+            raise ServiceError(
+                f"explanations need a UMGAD checkpoint, got "
+                f"{type(self.detector).__name__}")
+        entry = self._entry(graph)
+        if entry.explainer is None:
+            entry.explainer = AnomalyExplainer(self.detector, graph,
+                                               scores=entry.scores)
+        return entry.explainer.explain(node, top_features=top_features)

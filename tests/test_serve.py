@@ -1,0 +1,386 @@
+"""Model persistence + serving subsystem (repro.serve)."""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.core.threshold as threshold_mod
+from repro.baselines import BASELINE_REGISTRY, make_baseline
+from repro.cli import main as cli_main
+from repro.core import UMGAD, UMGADConfig
+from repro.graphs import graph_fingerprint, random_multiplex, save_multiplex
+from repro.serve import (
+    FORMAT_VERSION,
+    CheckpointError,
+    DetectorService,
+    ModelRegistry,
+    ServiceError,
+    load_checkpoint,
+    read_header,
+    run_serve_bench,
+    save_checkpoint,
+)
+from repro.serve.checkpoint import _HEADER_KEY
+
+
+@pytest.fixture(scope="module")
+def checkpoint(fitted_umgad, tiny_dataset, tmp_path_factory):
+    """A saved UMGAD checkpoint shared across read-only tests."""
+    path = tmp_path_factory.mktemp("ckpt") / "umgad.npz"
+    save_checkpoint(path, fitted_umgad, graph=tiny_dataset.graph)
+    return path
+
+
+class TestConfigSerialization:
+    def test_round_trip(self):
+        cfg = UMGADConfig(epochs=7, mask_ratio=0.3, mode="att", seed=5)
+        assert UMGADConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_unknown_keys_tolerated_unless_strict(self):
+        payload = UMGADConfig().to_dict()
+        payload["future_knob"] = 42
+        assert UMGADConfig.from_dict(payload) == UMGADConfig()
+        with pytest.raises(ValueError, match="future_knob"):
+            UMGADConfig.from_dict(payload, strict=True)
+
+
+class TestUMGADRoundTrip:
+    def test_scores_bitwise_identical(self, fitted_umgad, checkpoint):
+        loaded = load_checkpoint(checkpoint)
+        assert isinstance(loaded, UMGAD)
+        np.testing.assert_array_equal(loaded.decision_scores(),
+                                      fitted_umgad.decision_scores())
+
+    def test_threshold_and_importance_survive(self, fitted_umgad, checkpoint):
+        loaded = load_checkpoint(checkpoint)
+        orig, restored = fitted_umgad.threshold(), loaded.threshold()
+        assert restored.threshold == orig.threshold
+        assert restored.num_anomalies == orig.num_anomalies
+        assert loaded.relation_importance == fitted_umgad.relation_importance
+        assert loaded.config == fitted_umgad.config
+
+    def test_state_dict_round_trip(self, fitted_umgad, checkpoint):
+        loaded = load_checkpoint(checkpoint)
+        for name, value in fitted_umgad.state_dict().items():
+            np.testing.assert_array_equal(loaded.state_dict()[name], value)
+
+    def test_score_graph_matches_across_load(self, fitted_umgad, checkpoint,
+                                             tiny_dataset):
+        loaded = load_checkpoint(checkpoint)
+        a = fitted_umgad.score_graph(tiny_dataset.graph)
+        b = loaded.score_graph(tiny_dataset.graph)
+        np.testing.assert_array_equal(a, b)
+        # deterministic across repeated calls too
+        np.testing.assert_array_equal(b, loaded.score_graph(tiny_dataset.graph))
+
+    def test_score_graph_validates_shape(self, fitted_umgad, rng):
+        with pytest.raises(ValueError, match="features"):
+            fitted_umgad.score_graph(random_multiplex(30, 3, 8, rng))
+        with pytest.raises(ValueError, match="relations"):
+            fitted_umgad.score_graph(random_multiplex(30, 2, 16, rng))
+
+    def test_unfitted_model_refuses_save(self, tmp_path):
+        with pytest.raises(CheckpointError, match="fit"):
+            save_checkpoint(tmp_path / "x.npz", UMGAD())
+
+    def test_detector_save_method(self, fitted_umgad, tmp_path):
+        path = fitted_umgad.save(tmp_path / "via_method.npz")
+        loaded = load_checkpoint(path)
+        np.testing.assert_array_equal(loaded.decision_scores(),
+                                      fitted_umgad.decision_scores())
+
+
+class TestBaselineRoundTrips:
+    @pytest.mark.parametrize("name", sorted(BASELINE_REGISTRY))
+    def test_every_baseline_round_trips(self, name, tiny_dataset, tmp_path):
+        det = make_baseline(name, seed=0, epochs=2).fit(tiny_dataset.graph)
+        path = save_checkpoint(tmp_path / "b.npz", det,
+                               graph=tiny_dataset.graph)
+        loaded = load_checkpoint(path)
+        assert type(loaded).__name__ == type(det).__name__
+        np.testing.assert_array_equal(loaded.decision_scores(),
+                                      det.decision_scores())
+        assert loaded.threshold().threshold == det.threshold().threshold
+        np.testing.assert_array_equal(loaded.predict(), det.predict())
+
+
+class TestCheckpointErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no such checkpoint"):
+            load_checkpoint(tmp_path / "nope.npz")
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"definitely not a zip archive")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            load_checkpoint(path)
+
+    def test_non_checkpoint_npz(self, tiny_multiplex, tmp_path):
+        path = tmp_path / "graph.npz"
+        save_multiplex(path, tiny_multiplex)
+        with pytest.raises(CheckpointError, match="not a detector checkpoint"):
+            load_checkpoint(path)
+
+    def test_corrupted_payload(self, checkpoint, tmp_path):
+        with np.load(checkpoint, allow_pickle=False) as archive:
+            payload = {name: archive[name] for name in archive.files}
+        scores_key = "array::_scores"
+        payload[scores_key] = payload[scores_key] + 1.0  # silent tamper
+        tampered = tmp_path / "tampered.npz"
+        np.savez_compressed(tampered, **payload)
+        with pytest.raises(CheckpointError, match="checksum mismatch"):
+            load_checkpoint(tampered)
+
+    def test_version_mismatch(self, checkpoint, tmp_path):
+        with np.load(checkpoint, allow_pickle=False) as archive:
+            payload = {name: archive[name] for name in archive.files}
+        header = json.loads(str(payload[_HEADER_KEY]))
+        header["format_version"] = FORMAT_VERSION + 1
+        payload[_HEADER_KEY] = np.array(json.dumps(header))
+        future = tmp_path / "future.npz"
+        np.savez_compressed(future, **payload)
+        with pytest.raises(CheckpointError, match="format version"):
+            load_checkpoint(future)
+
+    def test_read_header_metadata(self, checkpoint, tiny_dataset):
+        header = read_header(checkpoint)
+        assert header["detector"] == "UMGAD"
+        assert header["format_version"] == FORMAT_VERSION
+        assert header["graph_fingerprint"] == \
+            graph_fingerprint(tiny_dataset.graph)
+
+
+class TestThresholdDeduplication:
+    def test_predict_reuses_cached_threshold(self, fitted_umgad, monkeypatch):
+        calls = {"n": 0}
+        real = threshold_mod.select_threshold
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(threshold_mod, "select_threshold", counting)
+        fitted_umgad._threshold_cache = None
+        first = fitted_umgad.threshold()
+        fitted_umgad.predict()
+        fitted_umgad.predict()
+        assert fitted_umgad.threshold() is first
+        assert calls["n"] == 1
+
+    def test_window_change_invalidates(self, fitted_umgad):
+        fitted_umgad._threshold_cache = None
+        default = fitted_umgad.threshold()
+        windowed = fitted_umgad.threshold(window=7)
+        assert windowed.window == 7
+        assert windowed is not default
+
+
+class TestDetectorService:
+    def test_cache_hits_and_bitwise_scores(self, checkpoint, fitted_umgad,
+                                           tiny_dataset):
+        service = DetectorService(checkpoint, cache_size=4)
+        first = service.scores(tiny_dataset.graph)
+        second = service.scores(tiny_dataset.graph)
+        assert first is second  # same cached array, no recompute
+        np.testing.assert_array_equal(first, fitted_umgad.decision_scores())
+        assert service.stats.hits == 1 and service.stats.misses == 1
+        assert 0.0 < service.stats.hit_rate <= 1.0
+
+    def test_serves_unseen_graph_via_score_graph(self, checkpoint,
+                                                 fitted_umgad, rng):
+        other = random_multiplex(30, 3, 16, rng)
+        service = DetectorService(checkpoint)
+        np.testing.assert_array_equal(service.scores(other),
+                                      fitted_umgad.score_graph(other))
+
+    def test_lru_eviction(self, checkpoint, tiny_dataset, rng):
+        service = DetectorService(checkpoint, cache_size=1)
+        service.scores(tiny_dataset.graph)
+        service.scores(random_multiplex(30, 3, 16, rng))
+        assert len(service) == 1
+        assert service.stats.evictions == 1
+        # original graph was evicted: next request is a miss again
+        service.scores(tiny_dataset.graph)
+        assert service.stats.misses == 3
+
+    def test_node_topk_predict_and_threshold(self, checkpoint, tiny_dataset,
+                                             fitted_umgad):
+        service = DetectorService(checkpoint)
+        graph = tiny_dataset.graph
+        scores = fitted_umgad.decision_scores()
+        best = int(np.argmax(scores))
+        top = service.top_k(graph, 5)
+        assert top[0][0] == best
+        assert service.score_node(graph, best) == float(scores[best])
+        assert service.threshold(graph).threshold == \
+            fitted_umgad.threshold().threshold
+        np.testing.assert_array_equal(service.predict(graph),
+                                      fitted_umgad.predict())
+        with pytest.raises(IndexError):
+            service.score_node(graph, graph.num_nodes + 1)
+
+    def test_explain(self, checkpoint, tiny_dataset):
+        service = DetectorService(checkpoint)
+        node, score = service.top_k(tiny_dataset.graph, 1)[0]
+        explanation = service.explain(tiny_dataset.graph, node)
+        assert explanation.node == node
+        assert explanation.score == pytest.approx(score)
+
+    def test_baseline_service_limits(self, tiny_dataset, tmp_path, rng):
+        det = make_baseline("Radar", seed=0).fit(tiny_dataset.graph)
+        path = save_checkpoint(tmp_path / "radar.npz", det,
+                               graph=tiny_dataset.graph)
+        service = DetectorService(path)
+        np.testing.assert_array_equal(service.scores(tiny_dataset.graph),
+                                      det.decision_scores())
+        with pytest.raises(ServiceError, match="fitted on"):
+            service.scores(random_multiplex(30, 3, 16, rng))
+        with pytest.raises(ServiceError, match="UMGAD"):
+            service.explain(tiny_dataset.graph, 0)
+
+    def test_in_memory_detector(self, fitted_umgad, tiny_dataset):
+        service = DetectorService(fitted_umgad)
+        np.testing.assert_array_equal(service.scores(tiny_dataset.graph),
+                                      fitted_umgad.decision_scores())
+        assert service.stats.misses == 1
+
+    def test_rejects_bad_cache_size(self, fitted_umgad):
+        with pytest.raises(ValueError, match="cache_size"):
+            DetectorService(fitted_umgad, cache_size=0)
+
+
+class TestModelRegistry:
+    def test_save_load_list_delete(self, fitted_umgad, tiny_dataset, tmp_path):
+        registry = ModelRegistry(tmp_path / "models")
+        registry.save("retail-v1", fitted_umgad, graph=tiny_dataset.graph)
+        assert "retail-v1" in registry and len(registry) == 1
+        loaded = registry.load("retail-v1")
+        np.testing.assert_array_equal(loaded.decision_scores(),
+                                      fitted_umgad.decision_scores())
+        info = registry.describe("retail-v1")
+        assert info.detector == "UMGAD"
+        assert info.num_nodes == tiny_dataset.graph.num_nodes
+        assert "UMGAD" in info.describe()
+        assert [i.name for i in registry.list_models()] == ["retail-v1"]
+        registry.delete("retail-v1")
+        assert len(registry) == 0
+
+    def test_overwrite_protection(self, fitted_umgad, tmp_path):
+        registry = ModelRegistry(tmp_path / "models")
+        registry.save("m", fitted_umgad)
+        with pytest.raises(FileExistsError, match="overwrite"):
+            registry.save("m", fitted_umgad)
+        registry.save("m", fitted_umgad, overwrite=True)
+
+    def test_invalid_names_and_missing_models(self, fitted_umgad, tmp_path):
+        registry = ModelRegistry(tmp_path / "models")
+        with pytest.raises(ValueError, match="invalid model name"):
+            registry.save("../escape", fitted_umgad)
+        with pytest.raises(KeyError, match="no model"):
+            registry.load("ghost")
+        with pytest.raises(KeyError, match="no model"):
+            registry.service("ghost")
+        with pytest.raises(KeyError, match="no model"):
+            registry.delete("ghost")
+
+    def test_service_from_registry(self, fitted_umgad, tiny_dataset, tmp_path):
+        registry = ModelRegistry(tmp_path / "models")
+        registry.save("m", fitted_umgad, graph=tiny_dataset.graph)
+        service = registry.service("m", cache_size=2)
+        assert service.scores(tiny_dataset.graph).size == \
+            tiny_dataset.graph.num_nodes
+
+
+class TestServeBench:
+    def test_warm_faster_than_cold(self, checkpoint, tiny_dataset):
+        result = run_serve_bench(checkpoint, tiny_dataset.graph, requests=3,
+                                 fit_seconds=1.0)
+        assert result.warm_seconds <= result.cold_seconds
+        assert result.warm_speedup_vs_fit > 1.0
+        payload = result.to_dict()
+        assert payload["warm_requests"] == 3
+        assert "warm request" in result.render()
+
+    def test_rejects_zero_requests(self, checkpoint, tiny_dataset):
+        with pytest.raises(ValueError, match="requests"):
+            run_serve_bench(checkpoint, tiny_dataset.graph, requests=0)
+
+
+class TestServeCLI:
+    def test_save_then_score_round_trip(self, tmp_path, capsys):
+        model = tmp_path / "model.npz"
+        assert cli_main(["save", "--dataset", "retail", "--scale", "0.12",
+                         "--epochs", "2", "--out", str(model)]) == 0
+        assert "saved checkpoint" in capsys.readouterr().out
+        assert cli_main(["score", "--model", str(model), "--dataset",
+                         "retail", "--scale", "0.12", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "threshold" in out and "top-3 nodes" in out
+
+    def test_detect_save_flag_and_json(self, tmp_path, capsys):
+        model = tmp_path / "model.npz"
+        assert cli_main(["detect", "--dataset", "retail", "--scale", "0.12",
+                         "--epochs", "2", "--save", str(model),
+                         "--output", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["checkpoint"] == str(model)
+        assert len(payload["scores"]) == payload["num_nodes"]
+        assert payload["threshold"]["num_anomalies"] == len(payload["flagged"])
+        assert model.exists()
+
+    def test_score_json_and_node_lookup(self, tmp_path, capsys):
+        model = tmp_path / "model.npz"
+        cli_main(["save", "--dataset", "retail", "--scale", "0.12",
+                  "--epochs", "2", "--out", str(model)])
+        capsys.readouterr()
+        assert cli_main(["score", "--model", str(model), "--dataset",
+                         "retail", "--scale", "0.12",
+                         "--output", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) >= {"scores", "threshold", "flagged", "top",
+                                "relation_importance"}
+        assert cli_main(["score", "--model", str(model), "--dataset",
+                         "retail", "--scale", "0.12", "--node", "0",
+                         "--output", "json"]) == 0
+        node_payload = json.loads(capsys.readouterr().out)
+        assert node_payload["node"] == 0
+        assert node_payload["score"] == payload["scores"][0]
+
+    def test_score_explain(self, tmp_path, capsys):
+        model = tmp_path / "model.npz"
+        cli_main(["save", "--dataset", "retail", "--scale", "0.12",
+                  "--epochs", "2", "--out", str(model)])
+        capsys.readouterr()
+        assert cli_main(["score", "--model", str(model), "--dataset",
+                         "retail", "--scale", "0.12", "--explain", "2"]) == 0
+        assert "structure[" in capsys.readouterr().out
+        # --explain carries into json output and --node lookups too
+        assert cli_main(["score", "--model", str(model), "--dataset",
+                         "retail", "--scale", "0.12", "--explain", "2",
+                         "--output", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["explanations"]) == 2
+        assert payload["explanations"][0]["node"] == payload["top"][0]["node"]
+        assert cli_main(["score", "--model", str(model), "--dataset",
+                         "retail", "--scale", "0.12", "--node", "0",
+                         "--explain", "1", "--output", "json"]) == 0
+        node_payload = json.loads(capsys.readouterr().out)
+        assert node_payload["explanation"]["node"] == 0
+
+    def test_score_errors_are_clean(self, tmp_path, capsys):
+        assert cli_main(["score", "--model", str(tmp_path / "ghost.npz"),
+                         "--dataset", "retail", "--scale", "0.12"]) == 1
+        assert "no such checkpoint" in capsys.readouterr().err
+
+    def test_serve_bench_command(self, tmp_path, capsys):
+        model = tmp_path / "model.npz"
+        cli_main(["save", "--dataset", "retail", "--scale", "0.12",
+                  "--epochs", "2", "--out", str(model)])
+        capsys.readouterr()
+        assert cli_main(["serve-bench", "--model", str(model), "--dataset",
+                         "retail", "--scale", "0.12", "--requests", "3",
+                         "--output", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["warm_requests"] == 3
+        assert payload["warm_seconds"] > 0
