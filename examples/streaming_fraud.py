@@ -1,0 +1,80 @@
+"""Streaming fraud monitoring: detect anomalous bursts as they arrive.
+
+The static workflow (fit -> score -> threshold) assumes a finished graph.
+This walkthrough shows the streaming workflow instead:
+
+1. fit UMGAD once on the current graph and wrap it in a DetectorService;
+2. synthesize an event stream — normal churn (edge adds/removals,
+   attribute jitter, node arrivals) with injected anomalous bursts
+   (clique formation, attribute hijacks), the streaming analogue of the
+   paper's injection protocol;
+3. feed the stream through a StreamMonitor: each window the evolving
+   graph is snapshotted in O(delta), scored through the warm service, and
+   typed alerts fire for new top-k entrants, per-node score jumps, and
+   score-distribution drift (PSI/KS);
+4. check the alerts against the known burst members.
+
+Run:
+    PYTHONPATH=src python examples/streaming_fraud.py
+"""
+
+import numpy as np
+
+from repro import UMGAD, UMGADConfig, load_dataset
+from repro.serve import DetectorService
+from repro.stream import (
+    IncrementalGraphBuilder,
+    ScoreJump,
+    StreamMonitor,
+    TopKEntrant,
+    synthesize_stream,
+)
+
+
+def main():
+    # 1. The graph as of "now", and a detector fitted on it.
+    dataset = load_dataset("retail", scale=0.2, num_features=16, seed=7)
+    graph = dataset.graph
+    print(f"base graph: {graph}")
+
+    config = UMGADConfig(epochs=15, mask_repeats=1, hidden_dim=16, seed=0)
+    model = UMGAD(config).fit(graph)
+    service = DetectorService(model)   # a checkpoint path works here too
+
+    # 2. What the next hours of traffic look like: mostly churn, with an
+    #    anomalous burst every ~300 events.
+    events, truth = synthesize_stream(
+        graph, 1500, np.random.default_rng(42),
+        burst_every=300, clique_size=8, attr_burst_size=6)
+    print(f"stream: {len(events)} events, "
+          f"{len(truth.bursts)} injected bursts "
+          f"({', '.join(b.kind for b in truth.bursts)})")
+
+    # 3. Monitor the stream in 250-event windows, collecting per-node
+    #    alerts as they fire (monitor.reports only keeps recent windows).
+    builder = IncrementalGraphBuilder.from_graph(graph)
+    monitor = StreamMonitor(service, builder, window=250, top_k=15,
+                            jump_sigma=5.0, psi_threshold=0.25)
+    flagged = set()
+
+    def consume(report):
+        print(report.render())
+        flagged.update(alert.node for alert in report.alerts
+                       if isinstance(alert, (TopKEntrant, ScoreJump)))
+
+    for report in monitor.run(events):
+        consume(report)
+    tail = monitor.flush()
+    if tail is not None:
+        consume(tail)
+
+    # 4. Did the alerts point at the injected burst members?
+    burst_nodes = set(truth.anomaly_nodes.tolist())
+    hits = flagged & burst_nodes
+    print(f"\nalerted nodes: {len(flagged)}, "
+          f"burst members among them: {len(hits)} / {len(burst_nodes)}")
+    print(f"serve cache: {service.stats.to_dict()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,9 @@ Public surface (see README for a tour):
 * :mod:`repro.experiments` — one module per paper table/figure.
 * :mod:`repro.serve` — checkpoints, :class:`DetectorService`,
   :class:`ModelRegistry` (train once, score many).
+* :mod:`repro.stream` — streaming ingestion (typed events, JSONL logs,
+  :class:`~repro.stream.IncrementalGraphBuilder`) and online monitoring
+  (:class:`~repro.stream.StreamMonitor` with drift-aware alerts).
 """
 
 from .core import UMGAD, UMGADConfig, ablation_config, select_threshold

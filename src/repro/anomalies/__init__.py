@@ -2,14 +2,18 @@
 
 from .injection import (
     InjectionReport,
+    clique_pairs,
     inject_anomalies,
     inject_attribute_anomalies,
     inject_structural_anomalies,
+    max_distance_donor,
 )
 
 __all__ = [
     "InjectionReport",
+    "clique_pairs",
     "inject_anomalies",
     "inject_attribute_anomalies",
     "inject_structural_anomalies",
+    "max_distance_donor",
 ]

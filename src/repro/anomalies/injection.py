@@ -43,6 +43,29 @@ class InjectionReport:
         return int(self.anomaly_nodes.size)
 
 
+def clique_pairs(nodes: np.ndarray) -> np.ndarray:
+    """All undirected pairs fully connecting ``nodes`` (the clique edges).
+
+    Shared by static injection below and the streaming burst generator
+    (:func:`repro.stream.events.synthesize_stream`).
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    iu, iv = np.triu_indices(nodes.size, k=1)
+    return np.stack([nodes[iu], nodes[iv]], axis=1)
+
+
+def max_distance_donor(x: np.ndarray, node: int,
+                       candidates: np.ndarray) -> int:
+    """The candidate whose attributes are Euclidean-farthest from ``node``.
+
+    The Ding et al. attribute-anomaly primitive: the selected node's
+    attributes are overwritten with this donor's. Shared by static
+    injection and streaming attribute bursts.
+    """
+    dists = np.linalg.norm(x[candidates] - x[node], axis=1)
+    return int(candidates[int(np.argmax(dists))])
+
+
 def inject_structural_anomalies(
     graph: MultiplexGraph,
     clique_size: int,
@@ -72,12 +95,11 @@ def inject_structural_anomalies(
     names = graph.relation_names
     new_edges: Dict[str, list] = {name: [] for name in names}
     relations_used: List[List[str]] = []
-    iu, iv = np.triu_indices(clique_size, k=1)
     for clique in cliques:
         n_rel = int(rng.integers(1, max_relations_per_clique + 1))
         rels = list(rng.choice(names, size=min(n_rel, len(names)), replace=False))
         relations_used.append(rels)
-        pairs = np.stack([clique[iu], clique[iv]], axis=1)
+        pairs = clique_pairs(clique)
         for rel in rels:
             new_edges[rel].append(pairs)
 
@@ -115,8 +137,7 @@ def inject_attribute_anomalies(
     original = graph.x  # swap sources come from the *original* attributes
     for node in chosen:
         candidates = rng.choice(n, size=min(candidate_pool, n), replace=False)
-        dists = np.linalg.norm(original[candidates] - original[node], axis=1)
-        donor = candidates[int(np.argmax(dists))]
+        donor = max_distance_donor(original, node, candidates)
         x[node] = original[donor]
     return graph.with_features(x), chosen
 

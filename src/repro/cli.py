@@ -7,6 +7,7 @@ Subcommands::
     python -m repro.cli save --dataset retail --out model.npz
     python -m repro.cli score --model model.npz --graph my_graph.npz
     python -m repro.cli serve-bench --model model.npz --graph my_graph.npz
+    python -m repro.cli stream --events events.jsonl --model model.npz --window 500
     python -m repro.cli experiment table2 --profile fast
     python -m repro.cli datasets
 
@@ -15,7 +16,9 @@ archive, prints the label-free threshold decision and (when labels exist)
 AUC / Macro-F1; ``--save`` checkpoints the fitted model. ``save`` is the
 train-once entry point (fit + checkpoint, nothing else). ``score`` answers
 from a checkpoint without retraining, ``serve-bench`` measures cold-load vs
-warm-cache serving latency, and ``experiment`` regenerates one paper
+warm-cache serving latency, ``stream`` replays a JSONL event log through
+the online monitor (one report per window; with ``--output json``, one
+JSON object per line), and ``experiment`` regenerates one paper
 table/figure. ``detect``/``score``/``serve-bench`` take ``--output json``
 for machine-readable results.
 """
@@ -113,6 +116,29 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--requests", type=int, default=20,
                        help="warm-cache requests to average over")
     _add_output_arg(bench)
+
+    stream = sub.add_parser(
+        "stream", help="replay a JSONL event log through the online monitor")
+    stream.add_argument("--events", required=True,
+                        help="JSONL event log (see repro.stream.events)")
+    stream.add_argument("--model", required=True, help="checkpoint to serve")
+    stream.add_argument("--graph",
+                        help="initial .npz multiplex snapshot; omitted, the "
+                             "stream must bootstrap an empty graph with the "
+                             "model's relation schema")
+    stream.add_argument("--window", type=int, default=500,
+                        help="event span of jump/top-k comparisons (and the "
+                             "default snapshot cadence)")
+    stream.add_argument("--stride", type=int, default=None,
+                        help="events between scored snapshots "
+                             "(default: --window, i.e. tumbling windows)")
+    stream.add_argument("--top", type=int, default=10,
+                        help="ranking size for top-k entrant alerts")
+    stream.add_argument("--psi-threshold", type=float, default=0.25,
+                        help="PSI above which a drift alert fires")
+    stream.add_argument("--jump-sigma", type=float, default=6.0,
+                        help="robust sigmas for score-jump alerts")
+    _add_output_arg(stream)
 
     experiment = sub.add_parser("experiment",
                                 help="regenerate a paper table/figure")
@@ -302,6 +328,56 @@ def _run_serve_bench(args) -> int:
     return 0
 
 
+def _run_stream(args) -> int:
+    from .serve import DetectorService, ServiceError
+    from .stream import IncrementalGraphBuilder, StreamMonitor, read_events
+
+    service = DetectorService(args.model)
+    if args.graph:
+        graph, _labels = load_multiplex(args.graph)
+        builder = IncrementalGraphBuilder.from_graph(graph)
+    else:
+        detector = service.detector
+        names = getattr(detector, "_relation_names", None)
+        num_features = getattr(detector, "_num_features", None)
+        if not names or not num_features:
+            raise ServiceError(
+                "checkpoint records no relation schema; pass --graph with "
+                "the initial snapshot instead")
+        builder = IncrementalGraphBuilder(relation_names=names,
+                                          num_features=num_features)
+
+    monitor = StreamMonitor(
+        service, builder, window=args.window, stride=args.stride,
+        top_k=args.top, psi_threshold=args.psi_threshold,
+        jump_sigma=args.jump_sigma)
+
+    def emit_report(report) -> None:
+        if args.output == "json":
+            print(json.dumps(report.to_dict(), default=float))
+        else:
+            print(report.render())
+
+    try:
+        for report in monitor.run(read_events(args.events)):
+            emit_report(report)
+        tail = monitor.flush()
+        if tail is not None:
+            emit_report(tail)
+        if args.output == "text":
+            print(f"stream done: {monitor.events_consumed} events in "
+                  f"{monitor.windows_scored} windows, "
+                  f"{monitor.alerts_raised} alert(s); "
+                  f"cache {service.stats.hits} hit(s) / "
+                  f"{service.stats.misses} miss(es)")
+    except BrokenPipeError:
+        # streaming output piped into head/jq that exited early — not an
+        # error; detach stdout so interpreter shutdown stays quiet
+        import os
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
 def _run_experiment(args) -> int:
     module = _EXPERIMENTS[args.name]
     profile = _PROFILES[args.profile]
@@ -316,16 +392,19 @@ def main(argv=None) -> int:
         return _run_detect(args)
     if args.command == "save":
         return _run_save(args)
-    if args.command in ("score", "serve-bench"):
+    if args.command in ("score", "serve-bench", "stream"):
         # Serving commands run against user-supplied artifacts; turn the
-        # operational failure modes (bad checkpoint, wrong graph, bad node)
-        # into one-line errors instead of tracebacks. Training commands
-        # keep full tracebacks — their failures are bugs, not user input.
+        # operational failure modes (bad checkpoint, wrong graph, bad
+        # event log, bad node) into one-line errors instead of tracebacks.
+        # Training commands keep full tracebacks — their failures are
+        # bugs, not user input.
         from .serve import CheckpointError, ServiceError
 
         try:
             if args.command == "score":
                 return _run_score(args)
+            if args.command == "stream":
+                return _run_stream(args)
             return _run_serve_bench(args)
         except (CheckpointError, ServiceError, FileNotFoundError,
                 ValueError, IndexError) as exc:

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import hashlib
 import pathlib
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -19,24 +19,60 @@ from .multiplex import MultiplexGraph
 _RELATION_PREFIX = "edges::"
 
 
+_FINGERPRINT_VERSION = b"umgad-multiplex-fingerprint-v2"
+
+
+def attribute_digest(x: np.ndarray) -> bytes:
+    """sha256 digest of one attribute matrix (dtype + shape + bytes)."""
+    x = np.ascontiguousarray(x)
+    digest = hashlib.sha256()
+    digest.update(str(x.dtype).encode())
+    digest.update(repr(x.shape).encode())
+    digest.update(x.tobytes())
+    return digest.digest()
+
+
+def relation_digest(name: str, edges: np.ndarray) -> bytes:
+    """sha256 digest of one relation's canonical edge array."""
+    edges = np.ascontiguousarray(edges, dtype=np.int64)
+    digest = hashlib.sha256()
+    digest.update(name.encode())
+    digest.update(repr(edges.shape).encode())
+    digest.update(edges.tobytes())
+    return digest.digest()
+
+
+def combine_digests(attr_digest: bytes,
+                    rel_digests: Iterable[Tuple[str, bytes]]) -> str:
+    """Fold component digests into the final fingerprint (hex sha256).
+
+    The fingerprint is a hash *of component hashes* rather than one pass
+    over the raw bytes, so a holder of cached component digests — the
+    incremental builder in :mod:`repro.stream.builder` — can recombine
+    them in O(R) after a localised change instead of rehashing the whole
+    graph.
+    """
+    digest = hashlib.sha256(_FINGERPRINT_VERSION)
+    digest.update(attr_digest)
+    for name, rel_digest in rel_digests:
+        digest.update(name.encode())
+        digest.update(rel_digest)
+    return digest.hexdigest()
+
+
 def graph_fingerprint(graph: MultiplexGraph) -> str:
     """Stable content hash of a multiplex graph (hex sha256).
 
     Covers the attribute matrix and every relation's name + edge array, so
     two graphs fingerprint equal iff a detector would score them equally.
-    The serving cache (:mod:`repro.serve.service`) keys on this.
+    The serving cache (:mod:`repro.serve.service`) keys on this, and
+    :class:`repro.stream.IncrementalGraphBuilder` maintains the same value
+    incrementally via the component-digest helpers above.
     """
-    digest = hashlib.sha256()
-    x = np.ascontiguousarray(graph.x)
-    digest.update(str(x.dtype).encode())
-    digest.update(repr(x.shape).encode())
-    digest.update(x.tobytes())
-    for name, rel in graph.relations.items():
-        edges = np.ascontiguousarray(rel.edges, dtype=np.int64)
-        digest.update(name.encode())
-        digest.update(repr(edges.shape).encode())
-        digest.update(edges.tobytes())
-    return digest.hexdigest()
+    return combine_digests(
+        attribute_digest(graph.x),
+        ((name, relation_digest(name, rel.edges))
+         for name, rel in graph.relations.items()))
 
 
 def save_multiplex(path, graph: MultiplexGraph,
@@ -86,8 +122,35 @@ def write_edge_list(path, relation: RelationGraph, delimiter: str = "\t") -> Non
 
 def read_edge_list(path, num_nodes: int, name: str = "rel",
                    delimiter: str = "\t") -> RelationGraph:
-    """Read a ``src<delim>dst`` text file into a :class:`RelationGraph`."""
-    edges = np.loadtxt(path, dtype=np.int64, delimiter=delimiter, ndmin=2)
+    """Read a ``src<delim>dst`` text file into a :class:`RelationGraph`.
+
+    Every endpoint is validated against ``num_nodes``; a malformed or
+    out-of-range line raises :class:`ValueError` naming the offending line
+    number, instead of silently producing a corrupt graph.
+    """
+    rows = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split(delimiter) if delimiter else stripped.split()
+            if len(parts) != 2:
+                raise ValueError(
+                    f"{path}:{lineno}: expected two columns "
+                    f"(src{delimiter or ' '}dst), got {stripped!r}")
+            try:
+                u, v = int(parts[0]), int(parts[1])
+            except ValueError:
+                raise ValueError(
+                    f"{path}:{lineno}: non-integer node id in {stripped!r}"
+                ) from None
+            if not (0 <= u < num_nodes and 0 <= v < num_nodes):
+                raise ValueError(
+                    f"{path}:{lineno}: node id out of range "
+                    f"[0, {num_nodes}): ({u}, {v})")
+            rows.append((u, v))
+    edges = np.array(rows, dtype=np.int64).reshape(-1, 2)
     return RelationGraph(num_nodes, edges, name=name)
 
 

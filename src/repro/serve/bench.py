@@ -24,6 +24,7 @@ class ServeBenchResult:
     warm_seconds: float        # mean warm-cache request over ``requests`` calls
     warm_requests: int
     fit_seconds: Optional[float] = None   # from-scratch fit, when measured
+    cache: Optional[Dict[str, float]] = None  # ServiceStats.to_dict()
 
     @property
     def warm_speedup_vs_cold(self) -> float:
@@ -46,6 +47,8 @@ class ServeBenchResult:
         if self.fit_seconds is not None:
             out["fit_seconds"] = self.fit_seconds
             out["warm_speedup_vs_fit"] = self.warm_speedup_vs_fit
+        if self.cache is not None:
+            out["cache"] = dict(self.cache)
         return out
 
     def render(self) -> str:
@@ -61,6 +64,11 @@ class ServeBenchResult:
             lines.append(
                 f"from-scratch fit  {self.fit_seconds * 1e3:10.2f} ms  "
                 f"(warm cache is {self.warm_speedup_vs_fit:.1f}x faster)")
+        if self.cache is not None:
+            lines.append(
+                f"cache             hits={self.cache['hits']} "
+                f"misses={self.cache['misses']} "
+                f"hit_rate={self.cache['hit_rate']:.0%}")
         return "\n".join(lines)
 
 
@@ -94,4 +102,5 @@ def run_serve_bench(checkpoint_path, graph: MultiplexGraph,
         warm_seconds=warm_seconds,
         warm_requests=requests,
         fit_seconds=fit_seconds,
+        cache=service.stats.to_dict(),
     )

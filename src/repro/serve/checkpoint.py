@@ -43,7 +43,10 @@ from ..graphs.io import graph_fingerprint
 from ..graphs.multiplex import MultiplexGraph
 
 MAGIC = "repro-detector-checkpoint"
-FORMAT_VERSION = 1
+# 2: the header's ``graph_fingerprint`` switched to the v2 component-digest
+#    algorithm (repro.graphs.io), so v1 checkpoints' stored fingerprints
+#    would silently never match again — better to reject them loudly.
+FORMAT_VERSION = 2
 
 _HEADER_KEY = "__checkpoint_header__"
 _PARAM_PREFIX = "param::"

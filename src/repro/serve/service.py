@@ -43,6 +43,16 @@ class ServiceStats:
     def hit_rate(self) -> float:
         return self.hits / self.requests if self.requests else 0.0
 
+    def to_dict(self) -> dict:
+        """JSON-able cache telemetry (serve-bench / stream reports)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "requests": self.requests,
+            "hit_rate": self.hit_rate,
+        }
+
 
 @dataclass
 class _CacheEntry:
@@ -83,16 +93,38 @@ class DetectorService:
         else:
             self.detector = load_checkpoint(model)
             self.checkpoint_path = model
-        header = getattr(self.detector, "_checkpoint_header", {}) or {}
         #: fingerprint of the graph the stored decision_scores() belong to
-        self.trained_fingerprint: Optional[str] = header.get("graph_fingerprint")
-        if self.trained_fingerprint is None:
-            trained_graph = getattr(self.detector, "_graph", None)
-            if trained_graph is not None:
-                self.trained_fingerprint = graph_fingerprint(trained_graph)
+        self.trained_fingerprint: Optional[str] = \
+            self._infer_trained_fingerprint(self.detector)
         self.cache_size = cache_size
         self.stats = ServiceStats()
         self._cache: "OrderedDict[str, _CacheEntry]" = OrderedDict()
+
+    @staticmethod
+    def _infer_trained_fingerprint(detector: BaseDetector) -> Optional[str]:
+        header = getattr(detector, "_checkpoint_header", {}) or {}
+        fingerprint = header.get("graph_fingerprint")
+        if fingerprint is None:
+            trained_graph = getattr(detector, "_graph", None)
+            if trained_graph is not None:
+                fingerprint = graph_fingerprint(trained_graph)
+        return fingerprint
+
+    def replace_detector(self, detector: BaseDetector) -> None:
+        """Hot-swap the served detector (e.g. after a drift-triggered refit).
+
+        Clears the result cache — cached entries belong to the old
+        detector — and re-derives the trained-graph fingerprint from the
+        new one.
+        """
+        if not isinstance(detector, BaseDetector):
+            raise TypeError(
+                f"replace_detector needs a fitted BaseDetector, got "
+                f"{type(detector).__name__}")
+        self.detector = detector
+        self.checkpoint_path = None
+        self.trained_fingerprint = self._infer_trained_fingerprint(detector)
+        self._cache.clear()
 
     # ------------------------------------------------------------------
     # Cache plumbing
@@ -111,8 +143,10 @@ class DetectorService:
                 "mismatch); refit or serve a UMGAD checkpoint instead")
         return score_graph(graph)
 
-    def _entry(self, graph: MultiplexGraph) -> _CacheEntry:
-        fingerprint = graph_fingerprint(graph)
+    def _entry(self, graph: MultiplexGraph,
+               fingerprint: Optional[str] = None) -> _CacheEntry:
+        if fingerprint is None:
+            fingerprint = graph_fingerprint(graph)
         entry = self._cache.get(fingerprint)
         if entry is not None:
             self.stats.hits += 1
@@ -136,9 +170,16 @@ class DetectorService:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def scores(self, graph: MultiplexGraph) -> np.ndarray:
-        """Per-node anomaly scores for ``graph`` (cached)."""
-        return self._entry(graph).scores
+    def scores(self, graph: MultiplexGraph,
+               fingerprint: Optional[str] = None) -> np.ndarray:
+        """Per-node anomaly scores for ``graph`` (cached).
+
+        ``fingerprint`` lets callers that already know the graph's content
+        hash — the incremental builder in :mod:`repro.stream` maintains it
+        in O(delta) — skip the full rehash. It MUST equal
+        :func:`~repro.graphs.io.graph_fingerprint` of ``graph``.
+        """
+        return self._entry(graph, fingerprint).scores
 
     def score_node(self, graph: MultiplexGraph, node: int) -> float:
         """One node's anomaly score."""

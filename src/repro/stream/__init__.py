@@ -1,0 +1,72 @@
+"""Streaming multiplex-graph ingestion + online anomaly monitoring.
+
+The streaming counterpart of :mod:`repro.serve`: where ``serve`` answers
+repeated queries about *finished* graphs, ``stream`` keeps a graph — and a
+detector's view of it — current while edge/node/attribute events arrive:
+
+* :mod:`repro.stream.events` — typed events (:class:`AddEdge`,
+  :class:`RemoveEdge`, :class:`AddNode`, :class:`UpdateAttr`), JSONL event
+  logs, and a deterministic synthetic stream generator with injected
+  anomalous bursts;
+* :mod:`repro.stream.builder` — :class:`IncrementalGraphBuilder`, O(delta)
+  event application with capacity-doubling edge arrays, per-relation dirty
+  flags, and an incrementally-maintained
+  :func:`~repro.graphs.io.graph_fingerprint`;
+* :mod:`repro.stream.monitor` — :class:`StreamMonitor`, windowed scoring
+  through a :class:`~repro.serve.service.DetectorService` with typed
+  alerts (top-k entrants, score jumps, PSI/KS distribution drift) and a
+  pluggable drift-triggered refit policy.
+"""
+
+from .builder import ApplyStats, IncrementalGraphBuilder
+from .events import (
+    AddEdge,
+    AddNode,
+    BurstRecord,
+    Event,
+    RemoveEdge,
+    StreamTruth,
+    UpdateAttr,
+    bootstrap_events,
+    parse_event,
+    read_events,
+    synthesize_stream,
+    write_events,
+)
+from .monitor import (
+    DriftAlert,
+    RefitAlert,
+    ScoreJump,
+    StreamMonitor,
+    TopKEntrant,
+    WindowReport,
+    alert_dict,
+    ks_statistic,
+    psi,
+)
+
+__all__ = [
+    "AddEdge",
+    "AddNode",
+    "ApplyStats",
+    "BurstRecord",
+    "DriftAlert",
+    "Event",
+    "IncrementalGraphBuilder",
+    "RefitAlert",
+    "RemoveEdge",
+    "ScoreJump",
+    "StreamMonitor",
+    "StreamTruth",
+    "TopKEntrant",
+    "UpdateAttr",
+    "WindowReport",
+    "alert_dict",
+    "bootstrap_events",
+    "ks_statistic",
+    "parse_event",
+    "psi",
+    "read_events",
+    "synthesize_stream",
+    "write_events",
+]

@@ -1,0 +1,406 @@
+"""Online anomaly monitoring over a multiplex event stream.
+
+:class:`StreamMonitor` closes the loop between ingestion and detection:
+it consumes events through fixed-size windows, maintains the evolving
+graph with an :class:`~repro.stream.builder.IncrementalGraphBuilder`,
+scores every window snapshot through a
+:class:`~repro.serve.service.DetectorService` (passing the builder's
+incrementally-maintained fingerprint so the serve cache never rehashes),
+tracks per-node score trajectories, and raises typed alerts:
+
+* :class:`TopKEntrant` — a node entered the top-``k`` ranking that was not
+  there in the previous window;
+* :class:`ScoreJump` — a node's score jumped by more than ``jump_sigma``
+  robust standard deviations of this window's score deltas;
+* :class:`DriftAlert` — the score *distribution* drifted from the
+  reference window beyond a PSI threshold (a KS statistic is reported
+  alongside);
+* :class:`RefitAlert` — drift triggered the pluggable refit policy: a new
+  detector was fitted on the current snapshot and hot-swapped into the
+  service.
+
+Windows are tumbling by default (``stride == window``); a smaller
+``stride`` slides the scoring cadence so consecutive snapshots overlap in
+event history.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import asdict, dataclass
+from typing import Callable, Deque, Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..detection import BaseDetector
+from ..serve.service import DetectorService
+from .builder import IncrementalGraphBuilder
+from .events import Event
+
+
+# ---------------------------------------------------------------------------
+# Drift statistics
+# ---------------------------------------------------------------------------
+
+def psi(reference: np.ndarray, current: np.ndarray, bins: int = 10,
+        eps: float = 1e-4) -> float:
+    """Population stability index between two score samples.
+
+    Bin edges are the ``bins``-quantiles of ``reference``; PSI is
+    ``Σ (p_i − q_i) ln(p_i / q_i)`` over the binned mass. The usual rule
+    of thumb: < 0.1 stable, 0.1–0.25 moderate shift, > 0.25 drifted.
+    """
+    reference = np.asarray(reference, dtype=np.float64).ravel()
+    current = np.asarray(current, dtype=np.float64).ravel()
+    if reference.size == 0 or current.size == 0:
+        raise ValueError("psi needs non-empty score samples")
+    quantiles = np.linspace(0.0, 1.0, bins + 1)[1:-1]
+    edges = np.unique(np.quantile(reference, quantiles))
+    ref_counts = np.histogram(reference, np.concatenate(
+        [[-np.inf], edges, [np.inf]]))[0]
+    cur_counts = np.histogram(current, np.concatenate(
+        [[-np.inf], edges, [np.inf]]))[0]
+    p = ref_counts / reference.size + eps
+    q = cur_counts / current.size + eps
+    return float(np.sum((p - q) * np.log(p / q)))
+
+
+def ks_statistic(reference: np.ndarray, current: np.ndarray) -> float:
+    """Two-sample Kolmogorov–Smirnov statistic (max CDF distance)."""
+    reference = np.sort(np.asarray(reference, dtype=np.float64).ravel())
+    current = np.sort(np.asarray(current, dtype=np.float64).ravel())
+    if reference.size == 0 or current.size == 0:
+        raise ValueError("ks_statistic needs non-empty score samples")
+    grid = np.concatenate([reference, current])
+    cdf_ref = np.searchsorted(reference, grid, side="right") / reference.size
+    cdf_cur = np.searchsorted(current, grid, side="right") / current.size
+    return float(np.abs(cdf_ref - cdf_cur).max())
+
+
+# ---------------------------------------------------------------------------
+# Alerts
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TopKEntrant:
+    """A node newly entered the top-``k`` anomaly ranking."""
+
+    node: int
+    score: float
+    rank: int
+
+    kind = "top_k_entrant"
+
+
+@dataclass(frozen=True)
+class ScoreJump:
+    """A node's score jumped far beyond this window's typical delta."""
+
+    node: int
+    previous: float
+    current: float
+    jump: float
+
+    kind = "score_jump"
+
+
+@dataclass(frozen=True)
+class DriftAlert:
+    """The score distribution drifted from the reference window."""
+
+    psi: float
+    ks: float
+    threshold: float
+
+    kind = "drift"
+
+
+@dataclass(frozen=True)
+class RefitAlert:
+    """Drift triggered the refit policy; the service detector was swapped."""
+
+    psi: float
+
+    kind = "refit"
+
+
+def alert_dict(alert) -> dict:
+    """JSON-able form of any alert (adds the ``kind`` discriminator)."""
+    return {"kind": alert.kind, **asdict(alert)}
+
+
+# ---------------------------------------------------------------------------
+# Window reports
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class WindowReport:
+    """Everything the monitor derived from one scored window."""
+
+    index: int
+    events: Dict[str, int]            # ApplyStats.to_dict() of this window
+    num_nodes: int
+    total_edges: int
+    fingerprint: str
+    score_mean: float
+    score_max: float
+    top: Tuple[Tuple[int, float], ...]
+    alerts: Tuple[object, ...]
+    psi: Optional[float]
+    ks: Optional[float]
+    refit: bool
+    seconds: float
+
+    def to_dict(self) -> dict:
+        return {
+            "window": self.index,
+            "events": dict(self.events),
+            "num_nodes": self.num_nodes,
+            "total_edges": self.total_edges,
+            "fingerprint": self.fingerprint,
+            "score_mean": self.score_mean,
+            "score_max": self.score_max,
+            "top": [{"node": node, "score": score} for node, score in self.top],
+            "alerts": [alert_dict(a) for a in self.alerts],
+            "psi": self.psi,
+            "ks": self.ks,
+            "refit": self.refit,
+            "seconds": self.seconds,
+        }
+
+    def render(self) -> str:
+        """One-paragraph human-readable summary."""
+        counts = self.events
+        psi_part = f" psi={self.psi:.3f}" if self.psi is not None else ""
+        lines = [
+            f"window {self.index:3d} | "
+            f"+{counts['added_edges']}/-{counts['removed_edges']} edges, "
+            f"+{counts['added_nodes']} nodes, "
+            f"{counts['updated_attrs']} attr updates | "
+            f"n={self.num_nodes} E={self.total_edges} | "
+            f"max={self.score_max:.3f} mean={self.score_mean:.3f}"
+            f"{psi_part} | {len(self.alerts)} alert(s) "
+            f"[{self.seconds * 1e3:.1f} ms]"
+        ]
+        for alert in self.alerts:
+            payload = alert_dict(alert)
+            kind = payload.pop("kind")
+            details = " ".join(f"{k}={v:.4g}" if isinstance(v, float)
+                               else f"{k}={v}" for k, v in payload.items())
+            lines.append(f"  ! {kind}: {details}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# The monitor
+# ---------------------------------------------------------------------------
+
+class StreamMonitor:
+    """Consume an event stream, score windows, raise alerts.
+
+    Parameters
+    ----------
+    service:
+        A :class:`DetectorService` whose detector can score new graphs
+        (a UMGAD checkpoint, or any detector exposing ``score_graph``).
+    builder:
+        The :class:`IncrementalGraphBuilder` holding the evolving graph
+        (pre-seeded with the base graph, or empty for bootstrap streams).
+    window:
+        Span of event history (in events) that top-k-entrant and
+        score-jump comparisons cover: each snapshot is compared against
+        the snapshot from ``~window`` events earlier.
+    stride:
+        Events between scored snapshots; defaults to ``window`` (tumbling
+        windows — every comparison is against the immediately previous
+        snapshot). A smaller stride slides the cadence: snapshots fire
+        every ``stride`` events while comparisons still span the trailing
+        ``window``. Must satisfy ``1 <= stride <= window``.
+    top_k:
+        Ranking size used for :class:`TopKEntrant` alerts.
+    jump_sigma:
+        :class:`ScoreJump` fires when a node's score delta exceeds this
+        many robust standard deviations (MAD-based) of the window's deltas.
+    psi_threshold:
+        :class:`DriftAlert` fires when PSI vs the reference window exceeds
+        this value.
+    refit:
+        Optional ``graph -> fitted BaseDetector`` callable. When drift
+        fires and the cooldown has elapsed, the monitor refits on the
+        current snapshot, hot-swaps the service detector, and resets the
+        drift reference.
+    refit_cooldown:
+        Minimum number of windows between refits.
+    history:
+        How many recent windows of scores to keep for trajectories.
+    """
+
+    def __init__(self, service: DetectorService,
+                 builder: IncrementalGraphBuilder, *,
+                 window: int = 500, stride: Optional[int] = None,
+                 top_k: int = 10, jump_sigma: float = 6.0,
+                 psi_threshold: float = 0.25, psi_bins: int = 10,
+                 max_jump_alerts: int = 20,
+                 refit: Optional[Callable[..., BaseDetector]] = None,
+                 refit_cooldown: int = 5, history: int = 32):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        stride = window if stride is None else stride
+        if not 1 <= stride <= window:
+            raise ValueError(
+                f"stride must be in [1, window={window}], got {stride}")
+        self.service = service
+        self.builder = builder
+        self.window = int(window)
+        self.stride = int(stride)
+        self.top_k = int(top_k)
+        self.jump_sigma = float(jump_sigma)
+        self.psi_threshold = float(psi_threshold)
+        self.psi_bins = int(psi_bins)
+        self.max_jump_alerts = int(max_jump_alerts)
+        self.refit = refit
+        self.refit_cooldown = int(refit_cooldown)
+
+        self.windows_scored = 0
+        self.events_consumed = 0
+        self.alerts_raised = 0
+        #: recent reports only (bounded like score history) — long-running
+        #: monitors must not grow linearly in windows scored; callers that
+        #: need every report keep the ones run()/process() hand them
+        self.reports: Deque[WindowReport] = deque(maxlen=history)
+        self._buffer: List[Event] = []
+        self._history: Deque[Tuple[int, np.ndarray]] = deque(maxlen=history)
+        self._reference: Optional[np.ndarray] = None
+        # Trailing (scores, top-k set) snapshots; the oldest entry is
+        # ~window events back and is what jump/entrant alerts compare to.
+        self._recent: Deque[Tuple[np.ndarray, set]] = deque(
+            maxlen=max(1, round(self.window / self.stride)))
+        self._last_refit_window = -10**9
+
+    # ------------------------------------------------------------------
+    def run(self, events: Iterable[Event]) -> Iterator[WindowReport]:
+        """Lazily consume ``events``, yielding a report every ``stride``
+        events. Call :meth:`flush` afterwards to score a partial tail."""
+        for event in events:
+            self._buffer.append(event)
+            if len(self._buffer) >= self.stride:
+                yield self._score_window(self._buffer)
+                self._buffer = []
+
+    def process(self, events: Iterable[Event]) -> List[WindowReport]:
+        """Eager version of :meth:`run` (no tail flush)."""
+        return list(self.run(events))
+
+    def flush(self) -> Optional[WindowReport]:
+        """Score whatever partial window is buffered, if anything."""
+        if not self._buffer:
+            return None
+        report = self._score_window(self._buffer)
+        self._buffer = []
+        return report
+
+    def trajectory(self, node: int) -> List[Tuple[int, float]]:
+        """``(window_index, score)`` history of one node (recent windows)."""
+        return [(index, float(scores[node]))
+                for index, scores in self._history if node < scores.size]
+
+    # ------------------------------------------------------------------
+    def _score_window(self, batch: List[Event]) -> WindowReport:
+        start = time.perf_counter()
+        stats = self.builder.apply(batch)
+        self.events_consumed += len(batch)
+        snapshot = self.builder.snapshot()
+        fingerprint = self.builder.fingerprint()
+        scores = self.service.scores(snapshot, fingerprint=fingerprint)
+
+        index = self.windows_scored
+        alerts: List[object] = []
+
+        # --- distribution drift + refit policy ----------------------------
+        # Evaluated first: a refit replaces ``scores``, and every ranking,
+        # alert and statistic below must describe the detector the report
+        # actually reflects.
+        psi_value = ks_value = None
+        refitted = False
+        if self._reference is None:
+            self._reference = scores
+        else:
+            psi_value = psi(self._reference, scores, bins=self.psi_bins)
+            ks_value = ks_statistic(self._reference, scores)
+            if psi_value > self.psi_threshold:
+                alerts.append(DriftAlert(psi=psi_value, ks=ks_value,
+                                         threshold=self.psi_threshold))
+                cooled = (index - self._last_refit_window
+                          >= self.refit_cooldown)
+                if self.refit is not None and cooled:
+                    detector = self.refit(snapshot)
+                    self.service.replace_detector(detector)
+                    self._last_refit_window = index
+                    self._reference = None   # re-baseline on the next window
+                    refitted = True
+                    alerts.append(RefitAlert(psi=psi_value))
+                    scores = self.service.scores(snapshot,
+                                                 fingerprint=fingerprint)
+                    # old-detector snapshots are not a meaningful baseline
+                    self._recent.clear()
+
+        order = np.argsort(-scores)
+        k = min(self.top_k, scores.size)
+        top = tuple((int(i), float(scores[i])) for i in order[:k])
+        current_top = {node for node, _ in top}
+
+        # Baseline for jump/entrant comparisons: the snapshot ~window
+        # events back (the oldest retained one; with tumbling windows
+        # that is simply the previous snapshot).
+        base_scores, base_top = (self._recent[0] if self._recent
+                                 else (None, None))
+
+        # --- new top-k entrants -------------------------------------------
+        if base_top is not None:
+            for rank, (node, score) in enumerate(top):
+                if node not in base_top:
+                    alerts.append(TopKEntrant(node=node, score=score,
+                                              rank=rank))
+
+        # --- per-node score jumps -----------------------------------------
+        if base_scores is not None:
+            common = min(base_scores.size, scores.size)
+            deltas = scores[:common] - base_scores[:common]
+            if common:
+                center = float(np.median(deltas))
+                sigma = 1.4826 * float(np.median(np.abs(deltas - center)))
+                if sigma <= 0.0:
+                    sigma = max(float(deltas.std()), 1e-12)
+                cutoff = center + self.jump_sigma * sigma
+                jumpers = np.flatnonzero(deltas > cutoff)
+                jumpers = jumpers[np.argsort(-deltas[jumpers])]
+                for node in jumpers[:self.max_jump_alerts]:
+                    alerts.append(ScoreJump(
+                        node=int(node),
+                        previous=float(base_scores[node]),
+                        current=float(scores[node]),
+                        jump=float(deltas[node])))
+
+        self._history.append((index, scores))
+        self._recent.append((scores, current_top))
+        self.windows_scored += 1
+        self.alerts_raised += len(alerts)
+
+        report = WindowReport(
+            index=index,
+            events=stats.to_dict(),
+            num_nodes=snapshot.num_nodes,
+            total_edges=snapshot.total_edges(),
+            fingerprint=fingerprint,
+            score_mean=float(scores.mean()),
+            score_max=float(scores.max()),
+            top=top,
+            alerts=tuple(alerts),
+            psi=psi_value,
+            ks=ks_value,
+            refit=refitted,
+            seconds=time.perf_counter() - start,
+        )
+        self.reports.append(report)
+        return report

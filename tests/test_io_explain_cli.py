@@ -52,6 +52,28 @@ class TestGraphIO:
         loaded = read_edge_list(path, tiny_relation.num_nodes, name="tiny")
         np.testing.assert_array_equal(loaded.edges, tiny_relation.edges)
 
+    def test_edge_list_rejects_out_of_range_ids_with_line_number(
+            self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        path.write_text("# relation=bad\n0\t1\n2\t99\n")
+        with pytest.raises(ValueError, match=r"edges\.tsv:3.*out of range"):
+            read_edge_list(path, num_nodes=10)
+
+    def test_edge_list_rejects_malformed_lines(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        path.write_text("0\t1\t2\n")
+        with pytest.raises(ValueError, match=r"edges\.tsv:1.*two columns"):
+            read_edge_list(path, num_nodes=10)
+        path.write_text("0\tseven\n")
+        with pytest.raises(ValueError, match=r"edges\.tsv:1.*non-integer"):
+            read_edge_list(path, num_nodes=10)
+
+    def test_edge_list_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        path.write_text("# header\n\n0\t1\n\n2\t3\n")
+        loaded = read_edge_list(path, num_nodes=5, name="ok")
+        assert loaded.num_edges == 2
+
     def test_from_edge_dict(self, rng):
         graph = from_edge_dict(
             10, {"a": np.array([[0, 1], [1, 2]]), "b": np.array([[3, 4]])},

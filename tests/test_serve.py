@@ -249,6 +249,49 @@ class TestDetectorService:
         with pytest.raises(ValueError, match="cache_size"):
             DetectorService(fitted_umgad, cache_size=0)
 
+    def test_stats_to_dict(self, fitted_umgad, tiny_dataset):
+        service = DetectorService(fitted_umgad)
+        service.scores(tiny_dataset.graph)
+        service.scores(tiny_dataset.graph)
+        payload = service.stats.to_dict()
+        assert payload == {"hits": 1, "misses": 1, "evictions": 0,
+                           "requests": 2, "hit_rate": 0.5}
+        json.dumps(payload)
+
+    def test_precomputed_fingerprint_skips_rehash(self, fitted_umgad,
+                                                  tiny_dataset, monkeypatch):
+        import repro.serve.service as service_mod
+
+        service = DetectorService(fitted_umgad)
+        fingerprint = graph_fingerprint(tiny_dataset.graph)
+        first = service.scores(tiny_dataset.graph, fingerprint=fingerprint)
+
+        def boom(_graph):  # the whole point: no rehash when the key is known
+            raise AssertionError("graph_fingerprint should not be called")
+
+        monkeypatch.setattr(service_mod, "graph_fingerprint", boom)
+        second = service.scores(tiny_dataset.graph, fingerprint=fingerprint)
+        assert first is second
+        assert service.stats.hits == 1
+
+    def test_replace_detector_clears_cache(self, fitted_umgad, tiny_dataset,
+                                           rng):
+        other_graph = random_multiplex(30, 3, 16, rng)
+        replacement = UMGAD(UMGADConfig(epochs=2, mask_repeats=1,
+                                        hidden_dim=8, seed=1))
+        replacement.fit(other_graph)
+
+        service = DetectorService(fitted_umgad)
+        service.scores(tiny_dataset.graph)
+        assert len(service) == 1
+        service.replace_detector(replacement)
+        assert len(service) == 0
+        assert service.trained_fingerprint == graph_fingerprint(other_graph)
+        np.testing.assert_array_equal(service.scores(other_graph),
+                                      replacement.decision_scores())
+        with pytest.raises(TypeError, match="BaseDetector"):
+            service.replace_detector("not a detector")
+
 
 class TestModelRegistry:
     def test_save_load_list_delete(self, fitted_umgad, tiny_dataset, tmp_path):
@@ -301,6 +344,10 @@ class TestServeBench:
         payload = result.to_dict()
         assert payload["warm_requests"] == 3
         assert "warm request" in result.render()
+        # cache telemetry rides along: 1 cold miss + 3 warm hits
+        assert payload["cache"]["misses"] == 1
+        assert payload["cache"]["hits"] == 3
+        assert "hit_rate" in result.render() or "cache" in result.render()
 
     def test_rejects_zero_requests(self, checkpoint, tiny_dataset):
         with pytest.raises(ValueError, match="requests"):
@@ -384,3 +431,5 @@ class TestServeCLI:
         payload = json.loads(capsys.readouterr().out)
         assert payload["warm_requests"] == 3
         assert payload["warm_seconds"] > 0
+        assert payload["cache"]["hits"] == 3
+        assert payload["cache"]["hit_rate"] == pytest.approx(0.75)
