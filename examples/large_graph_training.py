@@ -1,0 +1,65 @@
+"""Large-graph training with the sampled-minibatch engine (repro.engine).
+
+Full-batch training touches every node and edge each epoch, so epoch cost
+grows with the graph. The training engine's ``SubgraphBatches`` strategy
+instead trains each step on an RWR-sampled node-induced multiplex subgraph
+(the paper's own Fig. 7 / Table III efficiency device, promoted from
+scoring time to training time): epoch cost tracks the batch size, not the
+graph size, while scoring still covers the full graph.
+
+This demo builds a Table III-scale social graph with the repo's generator,
+trains UMGAD both ways, and compares per-epoch cost and detection quality.
+
+Run:
+    python examples/large_graph_training.py
+"""
+
+import numpy as np
+
+from repro import UMGAD, UMGADConfig, load_dataset, roc_auc
+
+
+def fit_and_report(name, graph, labels, config):
+    model = UMGAD(config)
+    model.fit(graph)
+    state = model.train_state
+    per_epoch = np.mean(state.epoch_seconds[1:] or state.epoch_seconds)
+    auc = roc_auc(labels, model.decision_scores())
+    print(f"{name:>10s}: {state.epochs_run} epochs, "
+          f"{per_epoch * 1e3:7.1f} ms/epoch, "
+          f"total {state.total_seconds:6.2f}s, AUC {auc:.3f} "
+          f"({state.stop_reason})")
+    return model
+
+
+def main():
+    # A T-Social-like generator graph — big enough that full-batch epochs
+    # visibly drag (scale up further to make the gap dramatic).
+    dataset = load_dataset("tsocial", scale=0.2, num_features=24, seed=7)
+    graph = dataset.graph
+    print(f"dataset: {graph}\n")
+
+    base = dict(epochs=12, seed=0, structure_score_mode="sampled",
+                early_stop_patience=0)
+
+    # 1. The historical behavior: every epoch is one full-graph pass.
+    fit_and_report("full", graph, dataset.labels,
+                   UMGADConfig(batch="full", **base))
+
+    # 2. Sampled minibatches: each optimisation step trains on an
+    #    RWR-sampled ~512-node sub-multiplex. Per-relation propagators are
+    #    built on the sampled block only; batch sampling is reseeded
+    #    deterministically per epoch, so reruns are reproducible.
+    fit_and_report("subgraph", graph, dataset.labels,
+                   UMGADConfig(batch="subgraph", batch_size=512,
+                               batches_per_epoch=2, **base))
+
+    # The same switch is available from the CLI:
+    #   python -m repro.cli detect --dataset tsocial --scale 0.2 \
+    #       --batch subgraph --batch-size 512 --batches-per-epoch 2
+    # and for the paper experiments via the "sampled" profile:
+    #   python -m repro.cli experiment table3 --profile sampled
+
+
+if __name__ == "__main__":
+    main()

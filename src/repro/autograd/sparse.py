@@ -4,15 +4,32 @@ Graph propagation multiplies a (constant) sparse operator — typically the
 symmetrically normalised adjacency — with a dense feature tensor. The sparse
 matrix itself never requires gradients here, which keeps the backward rule
 simple: ``d/dX (S @ X) = S^T @ grad``.
+
+Hot-path contract: propagators should arrive in CSR form (the
+:class:`~repro.graphs.graph.RelationGraph` builders pre-convert once at
+construction time). Non-CSR input is converted here — a silent per-call
+cost in the inner training loop — so debug mode
+(``REPRO_DEBUG_SPMM=1`` or :data:`DEBUG_ASSERT_CSR`) turns it into an
+error to catch regressions. Symmetric propagators can additionally carry a
+pre-computed backward operator in an ``_spmm_transpose`` attribute
+(:meth:`RelationGraph.sym_propagator` points it at the matrix itself), so
+the backward pass never pays a ``T.tocsr()`` conversion.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import scipy.sparse as sp
 
 from .tensor import Tensor
 from .ops import _acc, _make
+
+#: When true, spmm raises on non-CSR input instead of converting it —
+#: the conversion is wasted work on every training step, so surfacing it
+#: loudly in debug runs keeps the hot path honest.
+DEBUG_ASSERT_CSR = os.environ.get("REPRO_DEBUG_SPMM", "") not in ("", "0")
 
 
 def spmm(matrix: sp.spmatrix, dense) -> Tensor:
@@ -21,8 +38,9 @@ def spmm(matrix: sp.spmatrix, dense) -> Tensor:
     Parameters
     ----------
     matrix:
-        ``(n, m)`` scipy sparse matrix (converted to CSR once per call site;
-        callers should pre-convert for hot loops).
+        ``(n, m)`` scipy sparse matrix, ideally CSR (asserted in debug
+        mode). An ``_spmm_transpose`` attribute, when present, is used as
+        the backward operator without conversion.
     dense:
         ``(m, f)`` or ``(m,)`` tensor.
     """
@@ -31,8 +49,14 @@ def spmm(matrix: sp.spmatrix, dense) -> Tensor:
     dense = ensure_tensor(dense)
     if not sp.issparse(matrix):
         raise TypeError(f"spmm expects a scipy sparse matrix, got {type(matrix)!r}")
+    if matrix.format != "csr":
+        if DEBUG_ASSERT_CSR:
+            raise TypeError(
+                f"spmm hot path expects a CSR matrix, got {matrix.format!r}; "
+                "pre-convert at propagator build time (see RelationGraph)")
+        matrix = matrix.tocsr()
     out = matrix @ dense.data
-    matrix_t = None
+    matrix_t = getattr(matrix, "_spmm_transpose", None)
 
     def backward(grad, grads):
         nonlocal matrix_t
@@ -40,6 +64,12 @@ def spmm(matrix: sp.spmatrix, dense) -> Tensor:
             return
         if matrix_t is None:
             matrix_t = matrix.T.tocsr()
+            # Memoise on the operator: propagators are long-lived and reused
+            # across every epoch, so later spmm nodes skip the transpose too.
+            try:
+                matrix._spmm_transpose = matrix_t
+            except AttributeError:  # pragma: no cover - exotic sparse types
+                pass
         _acc(grads, dense, matrix_t @ grad)
 
     return _make(np.asarray(out), (dense,), backward)

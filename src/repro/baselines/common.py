@@ -16,6 +16,7 @@ import scipy.sparse as sp
 
 from ..autograd import ops, spmm
 from ..autograd.tensor import Tensor
+from ..engine import BatchStrategy, GradClip, Trainer, TrainState
 from ..graphs.graph import RelationGraph
 from ..graphs.multiplex import MultiplexGraph
 from ..nn import Adam, GCNConv, Linear, Module, ModuleList
@@ -107,21 +108,36 @@ class MLP(Module):
         return h
 
 
+def train_detector(model: Module, loss_fn: Callable, epochs: int, lr: float,
+                   grad_clip: float = 5.0, weight_decay: float = 0.0,
+                   callbacks=(), batch_strategy: Optional[BatchStrategy] = None,
+                   graph: Optional[MultiplexGraph] = None,
+                   timer=None) -> TrainState:
+    """Train a baseline on the shared engine; returns full telemetry.
+
+    ``loss_fn`` may be the historical zero-arg closure (full-batch) or take
+    a :class:`~repro.engine.GraphBatch` when ``batch_strategy`` samples
+    subgraphs (``graph`` is required then).
+    """
+    optimizer = Adam(model.parameters(), lr=lr, weight_decay=weight_decay)
+    cbs = ([GradClip(grad_clip)] if grad_clip else []) + list(callbacks)
+    trainer = Trainer(model, optimizer, batch_strategy=batch_strategy,
+                      callbacks=cbs, timer=timer)
+    return trainer.fit(graph, loss_fn, epochs)
+
+
 def train_model(model: Module, loss_fn: Callable[[], Tensor], epochs: int,
                 lr: float, grad_clip: float = 5.0,
-                weight_decay: float = 0.0) -> List[float]:
-    """Generic training loop used by every learned baseline."""
-    optimizer = Adam(model.parameters(), lr=lr, weight_decay=weight_decay)
-    history = []
-    for _ in range(epochs):
-        loss = loss_fn()
-        optimizer.zero_grad()
-        loss.backward()
-        if grad_clip:
-            optimizer.clip_grad_norm(grad_clip)
-        optimizer.step()
-        history.append(float(loss.data))
-    return history
+                weight_decay: float = 0.0, **engine_kwargs) -> List[float]:
+    """Generic training loop used by every learned baseline.
+
+    Thin wrapper over :func:`train_detector` (the shared
+    :class:`repro.engine.Trainer`) that returns just the loss history, which
+    is what the historical call sites consumed.
+    """
+    return train_detector(model, loss_fn, epochs, lr, grad_clip=grad_clip,
+                          weight_decay=weight_decay,
+                          **engine_kwargs).loss_history
 
 
 # ---------------------------------------------------------------------------

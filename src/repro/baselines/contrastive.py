@@ -45,7 +45,7 @@ from .common import (
     minmax,
     neighbor_mean,
     sigmoid,
-    train_model,
+    train_detector,
 )
 
 
@@ -129,7 +129,8 @@ class CoLA(BaseDetector):
             neg = net.disc(h, ops.gather_rows(r, shift))
             return _bce_pair(pos, neg)
 
-        train_model(net, loss_fn, self.epochs, self.lr)
+        self.train_state = train_detector(net, loss_fn, self.epochs, self.lr)
+        self.loss_history = self.train_state.loss_history
 
         h = ops.row_normalize(net.encoder(x, prop))
         r = ops.row_normalize(net.readout_proj(readout_raw))
@@ -188,7 +189,8 @@ class ANEMONE(BaseDetector):
             return ops.add(ops.mul(patch_term, self.gamma),
                            ops.mul(context_term, 1.0 - self.gamma))
 
-        train_model(net, loss_fn, self.epochs, self.lr)
+        self.train_state = train_detector(net, loss_fn, self.epochs, self.lr)
+        self.loss_history = self.train_state.loss_history
 
         h = ops.row_normalize(net.encoder(x, prop))
         p = ops.row_normalize(net.patch_proj(patch_raw))
@@ -257,7 +259,8 @@ class SubCR(BaseDetector):
             return ops.add(ops.mul(contrast, self.balance),
                            ops.mul(recon, 1.0 - self.balance))
 
-        train_model(net, loss_fn, self.epochs, self.lr)
+        self.train_state = train_detector(net, loss_fn, self.epochs, self.lr)
+        self.loss_history = self.train_state.loss_history
 
         h = ops.row_normalize(net.encoder(x, prop))
         l = ops.row_normalize(net.local_proj(local_raw))
@@ -306,6 +309,8 @@ class ARISE(BaseDetector):
                     seed=self.seed)
         cola.fit(graph)
         contrast = cola.decision_scores()
+        self.train_state = cola.train_state
+        self.loss_history = list(cola.loss_history)
 
         self._scores = (self.balance * substructure
                         + (1.0 - self.balance) * minmax(contrast))
@@ -356,7 +361,8 @@ class SLGAD(BaseDetector):
             return ops.add(ops.mul(gen, self.balance),
                            ops.mul(con, 1.0 - self.balance))
 
-        train_model(net, loss_fn, self.epochs, self.lr)
+        self.train_state = train_detector(net, loss_fn, self.epochs, self.lr)
+        self.loss_history = self.train_state.loss_history
 
         h = net.encoder(context, prop)
         gen_err = np.linalg.norm(net.regressor(h).data - graph.x, axis=1)
@@ -408,7 +414,8 @@ class PREM(BaseDetector):
             neg = ops.mul(ops.sum(ops.mul(hn, ops.gather_rows(he, shift)), axis=-1), 5.0)
             return _bce_pair(pos, neg)
 
-        train_model(net, loss_fn, self.epochs, self.lr)
+        self.train_state = train_detector(net, loss_fn, self.epochs, self.lr)
+        self.loss_history = self.train_state.loss_history
         hn = ops.row_normalize(net.node_proj(x)).data
         he = ops.row_normalize(net.ego_proj(ego)).data
         match = (hn * he).sum(axis=1)
@@ -455,7 +462,8 @@ class GCCAD(BaseDetector):
             neg = ops.mul(ops.sum(ops.mul(h_bad, context), axis=-1), 5.0)
             return _bce_pair(pos, neg)
 
-        train_model(net, loss_fn, self.epochs, self.lr)
+        self.train_state = train_detector(net, loss_fn, self.epochs, self.lr)
+        self.loss_history = self.train_state.loss_history
         h = ops.row_normalize(net.encoder(x, prop)).data
         context = h.mean(axis=0)
         context /= np.linalg.norm(context) + 1e-12
@@ -514,7 +522,8 @@ class GRADATE(BaseDetector):
             return ops.add(ops.mul(ops.add(ns1, ns2), self.balance),
                            ops.mul(ss, 1.0 - self.balance))
 
-        train_model(net, loss_fn, self.epochs, self.lr)
+        self.train_state = train_detector(net, loss_fn, self.epochs, self.lr)
+        self.loss_history = self.train_state.loss_history
 
         h1 = ops.row_normalize(net.encoder(x, prop1))
         p1 = ops.row_normalize(net.readout_proj(r1))
@@ -570,7 +579,8 @@ class VGOD(BaseDetector):
             return ops.add(ops.mul(var_term, self.balance),
                            ops.mul(recon, 1.0 - self.balance))
 
-        train_model(net, loss_fn, self.epochs, self.lr)
+        self.train_state = train_detector(net, loss_fn, self.epochs, self.lr)
+        self.loss_history = self.train_state.loss_history
 
         h = net.encoder(x, prop).data
         src, dst = merged.directed_pairs()

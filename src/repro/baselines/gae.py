@@ -32,6 +32,7 @@ from ..autograd import ops
 from ..autograd.tensor import Tensor
 from ..detection import BaseDetector
 from ..graphs.multiplex import MultiplexGraph
+from ..engine import TrainState
 from ..nn import Linear, Module
 from ..utils.rng import ensure_rng
 from .common import (
@@ -44,7 +45,7 @@ from .common import (
     neighbor_mean,
     reconstruction_scores,
     structure_bce_loss,
-    train_model,
+    train_detector,
 )
 
 
@@ -81,7 +82,8 @@ class DOMINANT(BaseDetector):
                 ops.mul(attribute_mse_loss(x_rec, x), self.alpha),
                 ops.mul(structure_bce_loss(z, merged, rng), 1.0 - self.alpha))
 
-        train_model(net, loss_fn, self.epochs, self.lr)
+        self.train_state = train_detector(net, loss_fn, self.epochs, self.lr)
+        self.loss_history = self.train_state.loss_history
         z = net.encoder(x, prop)
         x_rec = net.decoder(z, prop)
         self._scores = reconstruction_scores(x_rec.data, graph.x, z.data,
@@ -133,7 +135,8 @@ class GCNAE(BaseDetector):
                 ops.mul(structure_bce_loss(z, merged, rng), 1.0 - self.alpha))
             return ops.add(recon, ops.mul(kl, self.kl_weight))
 
-        train_model(net, loss_fn, self.epochs, self.lr)
+        self.train_state = train_detector(net, loss_fn, self.epochs, self.lr)
+        self.loss_history = self.train_state.loss_history
         h = ops.relu(net.base(x, prop))
         mu = net.mu_head(h, prop)
         x_rec = net.attr_decoder(mu, prop)
@@ -180,7 +183,8 @@ class AnomalyDAE(BaseDetector):
             return ops.add(ops.mul(attribute_mse_loss(x_rec, x), self.alpha),
                            ops.mul(struct, 1.0 - self.alpha))
 
-        train_model(net, loss_fn, self.epochs, self.lr)
+        self.train_state = train_detector(net, loss_fn, self.epochs, self.lr)
+        self.loss_history = self.train_state.loss_history
         z_s = net.struct_encoder(x, prop)
         z_a = net.attr_encoder(x)
         x_rec = net.attr_decoder(z_s)
@@ -223,7 +227,7 @@ class AdONE(BaseDetector):
         net = _AdONENet(graph.num_features, self.hidden_dim, rng)
         from ..nn import Parameter
         from ..nn import init as nn_init
-        net.outlier_logits = Parameter(np.zeros(n), name="adone.outlier")
+        net.outlier_logits = Parameter(nn_init.zeros(n), name="adone.outlier")
 
         # Row-normalised (self-loop-free) propagator for homophily error.
         adj = merged.adjacency()
@@ -246,7 +250,8 @@ class AdONE(BaseDetector):
             hom_err = ops.sum(ops.mul(hom_diff, hom_diff), axis=1)
             return ops.mean(ops.mul(w, ops.add(attr_err, hom_err)))
 
-        train_model(net, loss_fn, self.epochs, self.lr)
+        self.train_state = train_detector(net, loss_fn, self.epochs, self.lr)
+        self.loss_history = self.train_state.loss_history
         o = net.outlier_logits.data
         self._scores = minmax(o)
         return self
@@ -293,7 +298,8 @@ class GADNR(BaseDetector):
                                    ops.mul(deg_err, w_deg)),
                            ops.mul(neigh_err, w_neigh))
 
-        train_model(net, loss_fn, self.epochs, self.lr)
+        self.train_state = train_detector(net, loss_fn, self.epochs, self.lr)
+        self.loss_history = self.train_state.loss_history
         z = net.encoder(x, prop)
         self_err = np.linalg.norm(net.self_decoder(z).data - graph.x, axis=1)
         deg_err = np.abs(net.degree_decoder(z).data.ravel()
@@ -338,7 +344,8 @@ class ADAGAD(BaseDetector):
             z = pre.encoder(x, prop)
             return attribute_mse_loss(pre.decoder(z, prop), x)
 
-        train_model(pre, pre_loss, max(5, self.epochs // 3), self.lr)
+        pre_state = train_detector(pre, pre_loss, max(5, self.epochs // 3),
+                                   self.lr)
         pre_err = np.linalg.norm(
             pre.decoder(pre.encoder(x, prop), prop).data - graph.x, axis=1)
         edge_err = pre_err[merged.edges[:, 0]] + pre_err[merged.edges[:, 1]]
@@ -357,7 +364,7 @@ class ADAGAD(BaseDetector):
                 ops.mul(attribute_mse_loss(x_rec, x), self.alpha),
                 ops.mul(structure_bce_loss(z, denoised, rng), 1.0 - self.alpha))
 
-        train_model(net, stage1_loss, self.epochs, self.lr)
+        stage1_state = train_detector(net, stage1_loss, self.epochs, self.lr)
 
         # --- stage 2: freeze encoder, retrain decoder on the ORIGINAL graph
         frozen_z = Tensor(net.encoder(x, d_prop).data)
@@ -366,7 +373,11 @@ class ADAGAD(BaseDetector):
             x_rec = net.decoder(frozen_z, prop)
             return attribute_mse_loss(x_rec, x)
 
-        train_model(net.decoder, stage2_loss, max(5, self.epochs // 2), self.lr)
+        stage2_state = train_detector(net.decoder, stage2_loss,
+                                      max(5, self.epochs // 2), self.lr)
+        self.train_state = TrainState.concat([pre_state, stage1_state,
+                                              stage2_state])
+        self.loss_history = self.train_state.loss_history
 
         x_rec = net.decoder(frozen_z, prop).data
         self._scores = reconstruction_scores(x_rec, graph.x, frozen_z.data,

@@ -40,7 +40,7 @@ from .common import (
     reconstruction_scores,
     spectral_embedding,
     structure_bce_loss,
-    train_model,
+    train_detector,
 )
 
 
@@ -86,7 +86,8 @@ class ComGA(BaseDetector):
                 ops.mul(attribute_mse_loss(x_rec, x), self.alpha),
                 ops.mul(structure_bce_loss(z, merged, rng), 1.0 - self.alpha))
 
-        train_model(net, loss_fn, self.epochs, self.lr)
+        self.train_state = train_detector(net, loss_fn, self.epochs, self.lr)
+        self.loss_history = self.train_state.loss_history
         z = net.encoder(x, prop).data
         x_rec = net.attr_decoder(net.encoder(x, prop), prop).data
         self._scores = reconstruction_scores(x_rec, features, z, merged, rng,

@@ -33,7 +33,7 @@ from .common import (
     minmax,
     sigmoid,
     structure_bce_loss,
-    train_model,
+    train_detector,
 )
 from ..core.scoring import structure_errors_sampled
 
@@ -84,7 +84,8 @@ class AnomMAN(BaseDetector):
             return ops.add(ops.mul(attr, self.alpha),
                            ops.mul(total, 1.0 - self.alpha))
 
-        train_model(net, loss_fn, self.epochs, self.lr)
+        self.train_state = train_detector(net, loss_fn, self.epochs, self.lr)
+        self.loss_history = self.train_state.loss_history
 
         att = np.exp(net.attention.data - net.attention.data.max())
         att /= att.sum()
@@ -173,7 +174,8 @@ class DualGAD(BaseDetector):
             return ops.add(ops.mul(recon, self.balance),
                            ops.mul(margin, 1.0 - self.balance))
 
-        train_model(net, loss_fn, self.epochs, self.lr)
+        self.train_state = train_detector(net, loss_fn, self.epochs, self.lr)
+        self.loss_history = self.train_state.loss_history
 
         z = embed(masked=False)
         recon_err = np.linalg.norm(net.decoder(z).data - graph.x, axis=1)

@@ -4,6 +4,8 @@ Subcommands::
 
     python -m repro.cli detect --dataset retail --scale 0.3 --epochs 30
     python -m repro.cli detect --graph my_graph.npz --save model.npz
+    python -m repro.cli detect --dataset tsocial --batch subgraph \
+        --batch-size 512 --dtype float32
     python -m repro.cli save --dataset retail --out model.npz
     python -m repro.cli score --model model.npz --graph my_graph.npz
     python -m repro.cli serve-bench --model model.npz --graph my_graph.npz
@@ -49,7 +51,8 @@ _EXPERIMENTS = {
     "fig7": experiments.fig7,
 }
 
-_PROFILES = {"fast": experiments.FAST, "full": experiments.FULL}
+_PROFILES = {"fast": experiments.FAST, "full": experiments.FULL,
+             "sampled": experiments.SAMPLED}
 
 
 def _add_source_args(parser: argparse.ArgumentParser) -> None:
@@ -65,6 +68,24 @@ def _add_source_args(parser: argparse.ArgumentParser) -> None:
 def _add_training_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--epochs", type=int, default=30)
     parser.add_argument("--mask-ratio", type=float, default=0.4)
+    parser.add_argument("--batch", choices=("full", "subgraph"), default="full",
+                        help="training batch strategy (repro.engine): 'full' "
+                             "trains on the whole graph per epoch, 'subgraph' "
+                             "on RWR-sampled minibatches")
+    parser.add_argument("--batch-size", type=int, default=256,
+                        help="nodes per sampled subgraph minibatch")
+    parser.add_argument("--batches-per-epoch", type=int, default=1,
+                        help="minibatch steps per epoch in subgraph mode")
+
+
+def _add_dtype_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dtype", choices=("float32", "float64"),
+                        default=None,
+                        help="floating-point precision for tensors and "
+                             "graph attributes (float32 halves memory). "
+                             "Commands that load a checkpoint default to "
+                             "the precision it was trained at; training "
+                             "commands default to float64")
 
 
 def _add_output_arg(parser: argparse.ArgumentParser) -> None:
@@ -86,6 +107,7 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="print evidence for the K highest-scoring nodes")
     detect.add_argument("--save", metavar="PATH",
                         help="checkpoint the fitted model to PATH")
+    _add_dtype_arg(detect)
     _add_output_arg(detect)
 
     save = sub.add_parser(
@@ -94,6 +116,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_training_args(save)
     save.add_argument("--out", required=True, metavar="PATH",
                       help="checkpoint destination (.npz)")
+    _add_dtype_arg(save)
     _add_output_arg(save)
 
     score = sub.add_parser(
@@ -107,6 +130,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="print one node's score only")
     score.add_argument("--explain", type=int, default=0, metavar="K",
                        help="print evidence for the K highest-scoring nodes")
+    _add_dtype_arg(score)
     _add_output_arg(score)
 
     bench = sub.add_parser(
@@ -115,6 +139,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_source_args(bench)
     bench.add_argument("--requests", type=int, default=20,
                        help="warm-cache requests to average over")
+    _add_dtype_arg(bench)
     _add_output_arg(bench)
 
     stream = sub.add_parser(
@@ -138,6 +163,7 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="PSI above which a drift alert fires")
     stream.add_argument("--jump-sigma", type=float, default=6.0,
                         help="robust sigmas for score-jump alerts")
+    _add_dtype_arg(stream)
     _add_output_arg(stream)
 
     experiment = sub.add_parser("experiment",
@@ -232,7 +258,9 @@ def _explanations(model: UMGAD, graph, k: int, scores=None) -> list:
 
 def _fit_model(args, graph) -> UMGAD:
     config = UMGADConfig(epochs=args.epochs, mask_ratio=args.mask_ratio,
-                         seed=args.seed)
+                         seed=args.seed, batch=args.batch,
+                         batch_size=args.batch_size,
+                         batches_per_epoch=args.batches_per_epoch)
     return UMGAD(config).fit(graph)
 
 
@@ -286,7 +314,9 @@ def _run_score(args) -> int:
     from .serve import DetectorService
 
     graph, labels, source = _load_source(args)
-    service = DetectorService(args.model)
+    # _resolve_dtype already applied the checkpoint's (or the explicit
+    # --dtype) precision before the graph was built.
+    service = DetectorService(args.model, match_dtype=False)
 
     if args.node is not None:
         value = service.score_node(graph, args.node)
@@ -322,7 +352,8 @@ def _run_serve_bench(args) -> int:
     from .serve import run_serve_bench
 
     graph, _labels, source = _load_source(args)
-    result = run_serve_bench(args.model, graph, requests=args.requests)
+    result = run_serve_bench(args.model, graph, requests=args.requests,
+                             match_dtype=False)
     payload = {"source": source, "model": args.model, **result.to_dict()}
     _emit(args, payload, result.render())
     return 0
@@ -332,7 +363,7 @@ def _run_stream(args) -> int:
     from .serve import DetectorService, ServiceError
     from .stream import IncrementalGraphBuilder, StreamMonitor, read_events
 
-    service = DetectorService(args.model)
+    service = DetectorService(args.model, match_dtype=False)
     if args.graph:
         graph, _labels = load_multiplex(args.graph)
         builder = IncrementalGraphBuilder.from_graph(graph)
@@ -386,8 +417,32 @@ def _run_experiment(args) -> int:
     return 0
 
 
+def _resolve_dtype(args) -> None:
+    """Apply --dtype; serving commands inherit the checkpoint's precision.
+
+    Scoring a float32 checkpoint against a float64-coerced graph would
+    silently miss the stored-scores fast path (the graph fingerprint
+    hashes the attribute dtype), so when --dtype is not given and a
+    --model is, the checkpoint header's recorded dtype wins.
+    """
+    dtype = getattr(args, "dtype", None)
+    if dtype is None and getattr(args, "model", None):
+        from .serve import CheckpointError
+        from .serve.checkpoint import read_header
+
+        try:
+            dtype = read_header(args.model).get("dtype")
+        except CheckpointError:
+            dtype = None  # the command itself will report the bad model
+    if dtype:
+        from .autograd import set_default_dtype
+
+        set_default_dtype(dtype)
+
+
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
+    _resolve_dtype(args)
     if args.command == "detect":
         return _run_detect(args)
     if args.command == "save":

@@ -60,6 +60,15 @@ class UMGADConfig:
 
     # Optimisation
     epochs: int = 40
+    # Batch strategy (repro.engine): "full" trains every epoch on the whole
+    # graph (the paper's setting); "subgraph" trains each step on an
+    # RWR-sampled node-induced multiplex minibatch of ~``batch_size`` nodes
+    # (``batches_per_epoch`` steps per epoch), which is what makes training
+    # tractable on the Table III-scale graphs.
+    batch: str = "full"
+    batch_size: int = 256
+    batches_per_epoch: int = 1
+    batch_walk_size: int = 32
     learning_rate: float = 1e-2
     weight_decay: float = 0.0
     grad_clip: float = 5.0
@@ -119,6 +128,15 @@ class UMGADConfig:
             raise ValueError("early_stop_patience must be >= 0")
         if self.mask_repeats < 1:
             raise ValueError("mask_repeats (K) must be >= 1")
+        if self.batch not in ("full", "subgraph"):
+            raise ValueError(
+                f"unknown batch strategy {self.batch!r}; expected 'full' or "
+                "'subgraph'")
+        if self.batch_size < 2:
+            raise ValueError(f"batch_size must be >= 2, got {self.batch_size}")
+        if self.batches_per_epoch < 1:
+            raise ValueError(
+                f"batches_per_epoch must be >= 1, got {self.batches_per_epoch}")
 
     def variant(self, **overrides) -> "UMGADConfig":
         """Copy with overrides (used by ablations and sweeps)."""

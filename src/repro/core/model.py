@@ -35,6 +35,14 @@ import numpy as np
 from ..autograd import ops
 from ..autograd.tensor import Tensor
 from ..detection import BaseDetector
+from ..engine import (
+    EarlyStopping,
+    GradClip,
+    ProgressLogger,
+    Trainer,
+    TrainState,
+    make_batch_strategy,
+)
 from ..graphs.masking import attribute_mask, attribute_swap, edge_mask, subgraph_mask
 from ..graphs.multiplex import MultiplexGraph
 from ..nn import Adam, Module, ModuleList, Parameter, init
@@ -90,6 +98,7 @@ class UMGAD(BaseDetector):
         self.networks: Optional[_Networks] = None
         self.loss_history: List[float] = []
         self.loss_components: List[Dict[str, float]] = []
+        self.train_state: Optional[TrainState] = None
         self.timer = Timer()
         self._scores: Optional[np.ndarray] = None
         self._graph: Optional[MultiplexGraph] = None
@@ -111,34 +120,28 @@ class UMGAD(BaseDetector):
         optimizer = Adam(self.networks.parameters(), lr=cfg.learning_rate,
                          weight_decay=cfg.weight_decay)
 
-        self.loss_history = []
-        self.loss_components = []
-        best_loss = np.inf
-        stale_epochs = 0
-        for epoch in range(cfg.epochs):
-            with self.timer.measure("epoch"):
-                loss, parts = self._epoch_loss(graph)
-                optimizer.zero_grad()
-                loss.backward()
-                if cfg.grad_clip:
-                    optimizer.clip_grad_norm(cfg.grad_clip)
-                optimizer.step()
-            self.loss_history.append(float(loss.data))
-            self.loss_components.append(parts)
-            if verbose and (epoch % max(1, cfg.epochs // 10) == 0):
-                print(f"epoch {epoch:4d} loss {float(loss.data):.4f} "
-                      + " ".join(f"{k}={v:.3f}" for k, v in parts.items()))
-            if cfg.early_stop_patience:
-                if float(loss.data) < best_loss - cfg.early_stop_min_delta:
-                    best_loss = float(loss.data)
-                    stale_epochs = 0
-                else:
-                    stale_epochs += 1
-                    if stale_epochs >= cfg.early_stop_patience:
-                        if verbose:
-                            print(f"early stop at epoch {epoch} "
-                                  f"(no improvement for {stale_epochs} epochs)")
-                        break
+        callbacks = []
+        if cfg.grad_clip:
+            callbacks.append(GradClip(cfg.grad_clip))
+        if verbose:
+            callbacks.append(ProgressLogger(every=max(1, cfg.epochs // 10)))
+        if cfg.early_stop_patience:
+            callbacks.append(EarlyStopping(cfg.early_stop_patience,
+                                           cfg.early_stop_min_delta,
+                                           verbose=verbose))
+        trainer = Trainer(
+            self.networks, optimizer,
+            batch_strategy=make_batch_strategy(
+                cfg.batch, batch_size=cfg.batch_size,
+                batches_per_epoch=cfg.batches_per_epoch,
+                walk_size=cfg.batch_walk_size, restart_prob=cfg.rwr_restart,
+                seed=cfg.seed),
+            callbacks=callbacks, timer=self.timer)
+        state = trainer.fit(graph, lambda batch: self._epoch_loss(batch.graph),
+                            cfg.epochs)
+        self.train_state = state
+        self.loss_history = state.loss_history
+        self.loss_components = state.loss_components
 
         with self.timer.measure("scoring"):
             self._scores = self._compute_scores(graph)

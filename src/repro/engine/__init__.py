@@ -1,0 +1,43 @@
+"""Unified training engine shared by UMGAD and every learned baseline.
+
+* :class:`Trainer` / :class:`TrainState` — the epoch/batch loop and its
+  telemetry (loss history, component losses, timings, stop reason).
+* :class:`Callback` hooks — :class:`GradClip`, :class:`EarlyStopping`,
+  :class:`LRSchedule`, :class:`ProgressLogger`.
+* Batch strategies — :class:`FullGraphBatches` (default, numerically
+  identical to the historical full-batch loops) and
+  :class:`SubgraphBatches` (RWR-sampled node-induced multiplex minibatches
+  for large-graph training).
+"""
+
+from .batching import (
+    BatchStrategy,
+    FullGraphBatches,
+    GraphBatch,
+    SubgraphBatches,
+    make_batch_strategy,
+)
+from .trainer import (
+    Callback,
+    EarlyStopping,
+    GradClip,
+    LRSchedule,
+    ProgressLogger,
+    Trainer,
+    TrainState,
+)
+
+__all__ = [
+    "BatchStrategy",
+    "Callback",
+    "EarlyStopping",
+    "FullGraphBatches",
+    "GradClip",
+    "GraphBatch",
+    "LRSchedule",
+    "ProgressLogger",
+    "SubgraphBatches",
+    "Trainer",
+    "TrainState",
+    "make_batch_strategy",
+]

@@ -30,6 +30,13 @@ class ExperimentProfile:
     baseline_epochs: int = 30
     num_features: int = 32
     data_seed: int = 7
+    # Training batch strategy threaded into UMGADConfig (repro.engine):
+    # "full" reproduces the paper's full-batch training; "subgraph" trains
+    # on RWR-sampled minibatches so Table III / Fig. 7 can *train* (not
+    # just score) at large scale.
+    umgad_batch: str = "full"
+    umgad_batch_size: int = 512
+    umgad_batches_per_epoch: int = 2
 
     def variant(self, **overrides) -> "ExperimentProfile":
         return replace(self, **overrides)
@@ -46,6 +53,11 @@ FULL = ExperimentProfile(
     name="full", dataset_scale=0.5, large_scale=0.35, seeds=(0, 1, 2),
     umgad_epochs=60, baseline_epochs=40,
 )
+
+#: FAST sized, but UMGAD trains on sampled subgraph minibatches — the
+#: profile for large-graph table3/fig7 runs where full-batch epochs are
+#: the bottleneck
+SAMPLED = FAST.variant(name="sampled", umgad_batch="subgraph")
 
 _dataset_cache: Dict = {}
 
@@ -85,7 +97,10 @@ def umgad_config(dataset_name: str, profile: ExperimentProfile,
                  **overrides) -> UMGADConfig:
     """Paper-style per-dataset UMGAD configuration."""
     kwargs = dict(_DATASET_OVERRIDES.get(dataset_name, {}))
-    kwargs.update(epochs=profile.umgad_epochs)
+    kwargs.update(epochs=profile.umgad_epochs,
+                  batch=profile.umgad_batch,
+                  batch_size=profile.umgad_batch_size,
+                  batches_per_epoch=profile.umgad_batches_per_epoch)
     kwargs.update(overrides)
     return UMGADConfig(**kwargs)
 

@@ -5,6 +5,10 @@ UMGAD vs the four best baselines (GRADATE, GADAM, ADA-GAD, DualGAD) on
 Retail / YelpChi / T-Social stand-ins. Per-epoch numbers for the baselines
 are total fit time divided by their epoch budget; UMGAD's come from its
 internal timer. Panel (c) is UMGAD's loss history (convergence shape).
+
+Run under the ``SAMPLED`` profile, UMGAD trains on subgraph minibatches
+(``repro.engine``), so the per-epoch column measures sampled training —
+the engine analogue of the paper's Fig. 7 efficiency study.
 """
 
 from __future__ import annotations

@@ -20,7 +20,7 @@ import time
 from typing import List, Optional, Tuple
 
 from . import fig2, fig3, fig4, fig5, fig6, fig7, table1, table2, table3, table4, table5
-from .common import FAST, FULL, ExperimentProfile
+from .common import FAST, FULL, SAMPLED, ExperimentProfile
 
 #: (section title, module, reduced-scope kwargs used at fast profiles)
 _SECTIONS: List[Tuple[str, object, dict]] = [
@@ -74,14 +74,15 @@ def generate(profile: ExperimentProfile,
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--profile", choices=["fast", "full"], default="fast")
+    parser.add_argument("--profile", choices=["fast", "full", "sampled"],
+                        default="fast")
     parser.add_argument("--out", default=None,
                         help="write the report to this path (default stdout)")
     parser.add_argument("--only", nargs="*", default=None,
                         help="restrict to sections whose title contains any "
                              "of these substrings")
     args = parser.parse_args(argv)
-    profile = FAST if args.profile == "fast" else FULL
+    profile = {"fast": FAST, "full": FULL, "sampled": SAMPLED}[args.profile]
     text = generate(profile, sections=args.only)
     if args.out:
         with open(args.out, "w") as handle:

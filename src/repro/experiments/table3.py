@@ -2,6 +2,10 @@
 
 Only the methods the paper reports as OOM-safe are run, plus UMGAD; the
 structure scorer automatically switches to sampled mode at this scale.
+With the ``SAMPLED`` profile (``--profile sampled``), UMGAD additionally
+*trains* on RWR-sampled subgraph minibatches (``repro.engine``) instead of
+full-batch epochs — the profile's ``umgad_batch`` field is threaded into
+:class:`~repro.core.config.UMGADConfig` by ``umgad_config``.
 """
 
 from __future__ import annotations

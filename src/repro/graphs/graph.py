@@ -81,13 +81,19 @@ class RelationGraph:
         return src, dst
 
     def adjacency(self) -> sp.csr_matrix:
-        """Symmetric binary adjacency matrix (cached)."""
+        """Symmetric binary adjacency matrix (cached CSR)."""
         if self._adj is None:
+            from ..autograd.tensor import get_default_dtype
+
             src, dst = self.directed_pairs()
-            data = np.ones(len(src), dtype=np.float64)
-            self._adj = sp.csr_matrix(
+            data = np.ones(len(src), dtype=get_default_dtype())
+            adj = sp.csr_matrix(
                 (data, (src, dst)), shape=(self.num_nodes, self.num_nodes)
             )
+            # Symmetric: the spmm backward operator is the matrix itself,
+            # so flag it once here instead of transposing per backward pass.
+            adj._spmm_transpose = adj
+            self._adj = adj
         return self._adj
 
     def degrees(self) -> np.ndarray:
@@ -105,13 +111,19 @@ class RelationGraph:
         if key not in self._sym_prop:
             adj = self.adjacency()
             if add_self_loops:
-                adj = adj + sp.eye(self.num_nodes, format="csr")
+                adj = adj + sp.eye(self.num_nodes, format="csr",
+                                   dtype=adj.dtype)
             deg = np.asarray(adj.sum(axis=1)).ravel()
             inv_sqrt = np.zeros_like(deg)
             nz = deg > 0
             inv_sqrt[nz] = 1.0 / np.sqrt(deg[nz])
             d_half = sp.diags(inv_sqrt)
-            self._sym_prop[key] = (d_half @ adj @ d_half).tocsr()
+            # Pre-converted to CSR once here — spmm's hot path asserts CSR
+            # in debug mode instead of silently converting per call — and
+            # flagged symmetric so the backward pass reuses the operator.
+            prop = (d_half @ adj @ d_half).tocsr()
+            prop._spmm_transpose = prop
+            self._sym_prop[key] = prop
         return self._sym_prop[key]
 
     # ------------------------------------------------------------------

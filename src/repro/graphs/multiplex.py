@@ -12,6 +12,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from ..autograd.tensor import get_default_dtype
 from .graph import RelationGraph
 
 
@@ -33,7 +34,10 @@ class MultiplexGraph:
     _merged: Optional[RelationGraph] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self):
-        self.x = np.asarray(self.x, dtype=np.float64)
+        # Attributes follow the autograd default dtype (float64 unless the
+        # caller opted into float32 via autograd.set_default_dtype / the
+        # CLI --dtype flag), so precision is consistent end to end.
+        self.x = np.asarray(self.x, dtype=get_default_dtype())
         if self.x.ndim != 2:
             raise ValueError(f"attribute matrix must be 2-D, got shape {self.x.shape}")
         for name, rel in self.relations.items():
@@ -83,7 +87,7 @@ class MultiplexGraph:
             raise ValueError(
                 f"feature rows {x.shape[0]} != num_nodes {self.num_nodes}"
             )
-        return MultiplexGraph(x=np.asarray(x, dtype=np.float64),
+        return MultiplexGraph(x=np.asarray(x, dtype=get_default_dtype()),
                               relations=dict(self.relations))
 
     def with_relations(self, relations: Dict[str, RelationGraph]) -> "MultiplexGraph":

@@ -13,6 +13,7 @@ from typing import List, Optional
 import numpy as np
 
 from .graph import RelationGraph
+from .multiplex import MultiplexGraph
 
 
 def sample_nodes(num_nodes: int, count: int, rng: np.random.Generator) -> np.ndarray:
@@ -94,6 +95,32 @@ def edges_within(graph: RelationGraph, nodes: np.ndarray) -> np.ndarray:
         return np.empty(0, dtype=np.int64)
     hit = member[graph.edges[:, 0]] & member[graph.edges[:, 1]]
     return np.flatnonzero(hit)
+
+
+def induced_multiplex(graph: MultiplexGraph, nodes: np.ndarray) -> MultiplexGraph:
+    """Node-induced multiplex subgraph over ``nodes``, relabeled to 0..k-1.
+
+    Every relation keeps exactly the edges with both endpoints in ``nodes``;
+    endpoints are relabeled by the position of their node in the (sorted)
+    ``nodes`` array, and the attribute rows are sliced to match. Used by
+    :class:`repro.engine.SubgraphBatches` to build training minibatches whose
+    per-relation propagators cover only the sampled block.
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    if nodes.size and np.any(np.diff(nodes) <= 0):
+        nodes = np.unique(nodes)
+    remap = np.full(graph.num_nodes, -1, dtype=np.int64)
+    remap[nodes] = np.arange(nodes.size)
+    relations = {}
+    for name, rel in graph:
+        idx = edges_within(rel, nodes)
+        edges = (remap[rel.edges[idx]] if idx.size
+                 else np.empty((0, 2), dtype=np.int64))
+        # remap is monotonic over sorted nodes, so canonical (u < v, sorted)
+        # edge form survives the relabeling — no re-canonicalisation needed.
+        relations[name] = RelationGraph(nodes.size, edges, name=name,
+                                        validated=True)
+    return MultiplexGraph(x=graph.x[nodes], relations=relations)
 
 
 def edges_touching(graph: RelationGraph, nodes: np.ndarray) -> np.ndarray:

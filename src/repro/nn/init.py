@@ -1,8 +1,20 @@
-"""Weight initialisers (explicit RNG threading, no global state)."""
+"""Weight initialisers (explicit RNG threading, no global state).
+
+Draws are always made in float64 for bitwise-stable RNG streams, then cast
+to the autograd default dtype (:func:`repro.autograd.set_default_dtype`),
+so ``--dtype float32`` runs sample the *same* values at lower precision.
+"""
 
 from __future__ import annotations
 
 import numpy as np
+
+from ..autograd.tensor import get_default_dtype
+
+
+def _cast(values: np.ndarray) -> np.ndarray:
+    dtype = get_default_dtype()
+    return values if values.dtype == dtype else values.astype(dtype)
 
 
 def xavier_uniform(shape, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
@@ -12,7 +24,7 @@ def xavier_uniform(shape, rng: np.random.Generator, gain: float = 1.0) -> np.nda
     else:
         fan_in, fan_out = shape[0], shape[1]
     limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=shape)
+    return _cast(rng.uniform(-limit, limit, size=shape))
 
 
 def xavier_normal(shape, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
@@ -21,12 +33,12 @@ def xavier_normal(shape, rng: np.random.Generator, gain: float = 1.0) -> np.ndar
     else:
         fan_in, fan_out = shape[0], shape[1]
     std = gain * np.sqrt(2.0 / (fan_in + fan_out))
-    return rng.normal(0.0, std, size=shape)
+    return _cast(rng.normal(0.0, std, size=shape))
 
 
 def normal(shape, rng: np.random.Generator, std: float = 0.01) -> np.ndarray:
-    return rng.normal(0.0, std, size=shape)
+    return _cast(rng.normal(0.0, std, size=shape))
 
 
 def zeros(shape) -> np.ndarray:
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=get_default_dtype())

@@ -74,17 +74,22 @@ class ServeBenchResult:
 
 def run_serve_bench(checkpoint_path, graph: MultiplexGraph,
                     requests: int = 20, cache_size: int = 8,
-                    fit_seconds: Optional[float] = None) -> ServeBenchResult:
+                    fit_seconds: Optional[float] = None,
+                    match_dtype: bool = True) -> ServeBenchResult:
     """Measure cold-load, cold-score and warm-cache latency for a checkpoint.
 
     ``fit_seconds`` (measured by the caller, e.g. right after training) is
     carried through so reports can show the serve-vs-refit gap.
+    ``match_dtype=False`` keeps the process precision as-is instead of
+    adopting the checkpoint's (see :class:`DetectorService`); the CLI
+    passes it because ``graph`` was already built at the resolved --dtype.
     """
     if requests < 1:
         raise ValueError(f"requests must be >= 1, got {requests}")
 
     start = time.perf_counter()
-    service = DetectorService(checkpoint_path, cache_size=cache_size)
+    service = DetectorService(checkpoint_path, cache_size=cache_size,
+                              match_dtype=match_dtype)
     load_seconds = time.perf_counter() - start
 
     start = time.perf_counter()

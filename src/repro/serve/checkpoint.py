@@ -145,14 +145,19 @@ def save_checkpoint(path, detector: BaseDetector,
     }
     payload: Dict[str, np.ndarray] = {}
 
+    trained_dtype = None
     if isinstance(detector, UMGAD):
         header["config"] = detector.config.to_dict()
         header["relation_names"] = detector._relation_names
         header["num_features"] = detector._num_features
         header["relation_importance"] = detector.relation_importance
-        for name, value in detector.state_dict().items():
+        state = detector.state_dict()
+        for name, value in state.items():
             payload[_PARAM_PREFIX + name] = value
         payload[_ARRAY_PREFIX + "_scores"] = detector.decision_scores()
+        param_dtypes = {str(v.dtype) for v in state.values()}
+        if len(param_dtypes) == 1:
+            trained_dtype = param_dtypes.pop()
     else:
         kwargs, arrays = _split_detector(detector)
         header["kwargs"] = kwargs
@@ -174,6 +179,21 @@ def save_checkpoint(path, detector: BaseDetector,
     if graph is not None:
         header["graph_fingerprint"] = graph_fingerprint(graph)
         header["num_nodes"] = graph.num_nodes
+        if trained_dtype is None:
+            # Baselines keep no parameters; the training graph's attribute
+            # dtype IS the precision they were fitted at (and what their
+            # stored fingerprint hashes).
+            trained_dtype = str(graph.x.dtype)
+
+    # Informational: the precision the model was trained at (NOT the
+    # scores' dtype — the scoring pipeline upcasts to float64). Payload
+    # arrays carry their own dtypes through np.savez and load_state_dict
+    # preserves them, so float32 models round-trip at float32; recorded
+    # here so serving can adopt the right precision without opening the
+    # payload. Older readers ignore unknown header keys — no
+    # FORMAT_VERSION bump needed.
+    if trained_dtype is not None:
+        header["dtype"] = trained_dtype
 
     header["checksum"] = _payload_checksum(payload)
     np.savez_compressed(
@@ -213,14 +233,29 @@ def read_header(path) -> Dict[str, object]:
     return header
 
 
-def load_checkpoint(path) -> BaseDetector:
+def load_checkpoint(path, match_dtype: bool = False) -> BaseDetector:
     """Reconstruct the detector saved by :func:`save_checkpoint`.
 
     Raises :class:`CheckpointError` on missing files, corrupted payloads
     (checksum mismatch) and format-version mismatches.
+
+    ``match_dtype=True`` sets the autograd default dtype to the precision
+    the checkpoint was trained at (header ``dtype``, when recorded):
+    graphs built afterwards then fingerprint-match the checkpoint's
+    trained graph, which is what keeps the stored-scores fast path alive
+    for float32 models — a float64-coerced copy of the training graph
+    hashes differently and would silently force a full rescore. It is a
+    process-global switch, so it is off by default here (the bare loader
+    stays side-effect free); :class:`~repro.serve.service.DetectorService`
+    turns it on, being the serve-a-model-per-process entry point.
     """
     path = pathlib.Path(path)
     header = read_header(path)
+    if match_dtype and header.get("dtype"):
+        from ..autograd import get_default_dtype, set_default_dtype
+
+        if str(np.dtype(get_default_dtype())) != header["dtype"]:
+            set_default_dtype(header["dtype"])
     with np.load(path, allow_pickle=False) as archive:
         payload = {name: archive[name] for name in archive.files
                    if name != _HEADER_KEY}

@@ -76,22 +76,29 @@ class ModelRegistry:
                 "overwrite=True to replace it")
         return save_checkpoint(path, detector, graph=graph)
 
-    def load(self, name: str) -> BaseDetector:
+    def load(self, name: str, match_dtype: bool = False) -> BaseDetector:
         path = self.path(name)
         if not path.exists():
             raise KeyError(
                 f"no model named {name!r} in {self.root}; "
                 f"available: {self.names()}")
-        return load_checkpoint(path)
+        return load_checkpoint(path, match_dtype=match_dtype)
 
-    def service(self, name: str, cache_size: int = 8) -> DetectorService:
-        """A ready-to-query service over the named checkpoint."""
+    def service(self, name: str, cache_size: int = 8,
+                match_dtype: bool = True) -> DetectorService:
+        """A ready-to-query service over the named checkpoint.
+
+        ``match_dtype`` follows :class:`DetectorService`: the process
+        adopts the checkpoint's training precision by default; pass
+        ``False`` when serving mixed-precision checkpoints side by side.
+        """
         path = self.path(name)
         if not path.exists():
             raise KeyError(
                 f"no model named {name!r} in {self.root}; "
                 f"available: {self.names()}")
-        return DetectorService(path, cache_size=cache_size)
+        return DetectorService(path, cache_size=cache_size,
+                               match_dtype=match_dtype)
 
     def delete(self, name: str) -> None:
         path = self.path(name)

@@ -29,11 +29,18 @@ class ServiceError(RuntimeError):
 
 @dataclass
 class ServiceStats:
-    """Cache telemetry for one :class:`DetectorService`."""
+    """Cache + refit telemetry for one :class:`DetectorService`."""
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: hot-swaps performed via :meth:`DetectorService.replace_detector`
+    refits: int = 0
+    #: engine epochs spent across those refits (from the detectors'
+    #: :class:`repro.engine.TrainState` when available)
+    refit_epochs: int = 0
+    #: wall-clock training seconds across those refits
+    refit_seconds: float = 0.0
 
     @property
     def requests(self) -> int:
@@ -51,6 +58,9 @@ class ServiceStats:
             "evictions": self.evictions,
             "requests": self.requests,
             "hit_rate": self.hit_rate,
+            "refits": self.refits,
+            "refit_epochs": self.refit_epochs,
+            "refit_seconds": self.refit_seconds,
         }
 
 
@@ -82,16 +92,27 @@ class DetectorService:
     cache_size:
         Maximum number of distinct graphs whose results stay cached; the
         least recently used entry is evicted beyond that.
+    match_dtype:
+        Forwarded to :func:`~repro.serve.checkpoint.load_checkpoint` when
+        ``model`` is a path: by default the process adopts the precision
+        the checkpoint was trained at, so graphs built afterwards
+        fingerprint-match the trained graph (keeping the stored-scores
+        fast path for float32 models). This sets the process-global
+        autograd default dtype — pass ``False`` when the caller manages
+        precision itself (the CLI resolves --dtype up front) or when
+        serving mixed-precision checkpoints in one process; call
+        :func:`repro.autograd.set_default_dtype` to restore a previous
+        precision.
     """
 
-    def __init__(self, model, cache_size: int = 8):
+    def __init__(self, model, cache_size: int = 8, match_dtype: bool = True):
         if cache_size < 1:
             raise ValueError(f"cache_size must be >= 1, got {cache_size}")
         if isinstance(model, BaseDetector):
             self.detector = model
             self.checkpoint_path = None
         else:
-            self.detector = load_checkpoint(model)
+            self.detector = load_checkpoint(model, match_dtype=match_dtype)
             self.checkpoint_path = model
         #: fingerprint of the graph the stored decision_scores() belong to
         self.trained_fingerprint: Optional[str] = \
@@ -110,21 +131,49 @@ class DetectorService:
                 fingerprint = graph_fingerprint(trained_graph)
         return fingerprint
 
-    def replace_detector(self, detector: BaseDetector) -> None:
+    @staticmethod
+    def _training_telemetry(detector: BaseDetector,
+                            train_state=None) -> Tuple[int, float]:
+        """(epochs, seconds) a refit spent training, best effort.
+
+        Engine-trained detectors carry a :class:`repro.engine.TrainState`
+        (``train_state`` attribute) with exact numbers; otherwise fall back
+        to ``loss_history`` length and the detector's epoch timer.
+        """
+        state = train_state if train_state is not None else \
+            getattr(detector, "train_state", None)
+        if state is not None:
+            return int(state.epochs_run), float(state.total_seconds)
+        history = getattr(detector, "loss_history", None) or []
+        timer = getattr(detector, "timer", None)
+        seconds = float(timer.total("epoch")) if timer is not None else 0.0
+        return len(history), seconds
+
+    def replace_detector(self, detector: BaseDetector,
+                         train_state=None) -> Tuple[int, float]:
         """Hot-swap the served detector (e.g. after a drift-triggered refit).
 
         Clears the result cache — cached entries belong to the old
         detector — and re-derives the trained-graph fingerprint from the
-        new one.
+        new one. The refit's training cost (epochs / wall-clock seconds,
+        from ``train_state`` or the detector's own engine telemetry) is
+        accumulated into :class:`ServiceStats` and returned, so callers
+        (the stream monitor's refit alerts) can report the per-refit cost
+        without diffing the cumulative stats.
         """
         if not isinstance(detector, BaseDetector):
             raise TypeError(
                 f"replace_detector needs a fitted BaseDetector, got "
                 f"{type(detector).__name__}")
+        epochs, seconds = self._training_telemetry(detector, train_state)
         self.detector = detector
         self.checkpoint_path = None
         self.trained_fingerprint = self._infer_trained_fingerprint(detector)
         self._cache.clear()
+        self.stats.refits += 1
+        self.stats.refit_epochs += epochs
+        self.stats.refit_seconds += seconds
+        return epochs, seconds
 
     # ------------------------------------------------------------------
     # Cache plumbing

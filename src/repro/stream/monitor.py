@@ -118,9 +118,16 @@ class DriftAlert:
 
 @dataclass(frozen=True)
 class RefitAlert:
-    """Drift triggered the refit policy; the service detector was swapped."""
+    """Drift triggered the refit policy; the service detector was swapped.
+
+    ``epochs`` / ``seconds`` report what the refit's training run cost
+    (from the new detector's :class:`repro.engine.TrainState`; zero when
+    the refit callable returned a detector without engine telemetry).
+    """
 
     psi: float
+    epochs: int = 0
+    seconds: float = 0.0
 
     kind = "refit"
 
@@ -335,11 +342,12 @@ class StreamMonitor:
                           >= self.refit_cooldown)
                 if self.refit is not None and cooled:
                     detector = self.refit(snapshot)
-                    self.service.replace_detector(detector)
+                    epochs, seconds = self.service.replace_detector(detector)
                     self._last_refit_window = index
                     self._reference = None   # re-baseline on the next window
                     refitted = True
-                    alerts.append(RefitAlert(psi=psi_value))
+                    alerts.append(RefitAlert(psi=psi_value, epochs=epochs,
+                                             seconds=seconds))
                     scores = self.service.scores(snapshot,
                                                  fingerprint=fingerprint)
                     # old-detector snapshots are not a meaningful baseline

@@ -255,7 +255,9 @@ class TestDetectorService:
         service.scores(tiny_dataset.graph)
         payload = service.stats.to_dict()
         assert payload == {"hits": 1, "misses": 1, "evictions": 0,
-                           "requests": 2, "hit_rate": 0.5}
+                           "requests": 2, "hit_rate": 0.5,
+                           "refits": 0, "refit_epochs": 0,
+                           "refit_seconds": 0.0}
         json.dumps(payload)
 
     def test_precomputed_fingerprint_skips_rehash(self, fitted_umgad,
