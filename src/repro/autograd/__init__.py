@@ -5,10 +5,14 @@ Public surface:
 * :class:`Tensor` / :func:`tensor` — the differentiable array type.
 * :mod:`repro.autograd.ops` — dense ops, reductions, activations, segment ops.
 * :func:`spmm` — sparse-adjacency × dense-feature product.
+* :func:`no_grad` / :func:`enable_grad` / :func:`is_grad_enabled` — the
+  global grad mode; inference paths run under ``no_grad()`` so no tape is
+  recorded (see :mod:`repro.autograd.grad_mode`).
 * :func:`numeric_gradient` — finite-difference checker used by the tests.
 """
 
 from . import ops
+from .grad_mode import enable_grad, is_grad_enabled, no_grad, set_grad_enabled
 from .tensor import (
     Tensor,
     as_array,
@@ -26,12 +30,16 @@ __all__ = [
     "Tensor",
     "as_array",
     "check_gradients",
+    "enable_grad",
     "ensure_tensor",
     "get_default_dtype",
+    "is_grad_enabled",
+    "no_grad",
     "numeric_gradient",
     "ones",
     "ops",
     "set_default_dtype",
+    "set_grad_enabled",
     "spmm",
     "tensor",
     "zeros",

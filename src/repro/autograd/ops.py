@@ -1,9 +1,16 @@
 """Differentiable operations for the numpy autodiff engine.
 
-Each op computes its result eagerly, then (when any input requires grad)
-attaches a backward closure that maps the upstream gradient to gradients of
-its parents. Gradients are accumulated in a per-backward-pass dictionary
+Each op computes its result eagerly, then (when any input requires grad
+and grad mode is on — see :mod:`repro.autograd.grad_mode`) attaches a
+backward closure that maps the upstream gradient to gradients of its
+parents. Gradients are accumulated in a per-backward-pass dictionary
 keyed by tensor identity (see :meth:`repro.autograd.tensor.Tensor.backward`).
+
+Under :func:`~repro.autograd.grad_mode.no_grad` every op returns a plain
+constant tensor — no parents, no closures, no ``requires_grad``
+propagation — and the segment ops switch to faster scatter kernels
+(`numpy.bincount`-based) whose per-segment accumulation order, and hence
+result bits, match the recording path exactly.
 
 The op set is intentionally scoped to what graph anomaly-detection models
 need: dense linear algebra, reductions, indexing/scatter, activations, and
@@ -16,6 +23,7 @@ from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from . import grad_mode
 from .tensor import Tensor, as_array, ensure_tensor, unbroadcast
 
 Axis = Union[None, int, Tuple[int, ...]]
@@ -34,10 +42,41 @@ def _acc(grads: dict, parent: Tensor, grad: np.ndarray) -> None:
 
 
 def _make(result: np.ndarray, parents: Tuple[Tensor, ...], backward) -> Tensor:
-    requires = any(p.requires_grad for p in parents)
-    if not requires:
-        return Tensor(result)
-    return Tensor(result, requires_grad=True, parents=parents, backward_fn=backward)
+    if grad_mode._enabled and any(p.requires_grad for p in parents):
+        return Tensor(result, requires_grad=True, parents=parents,
+                      backward_fn=backward)
+    return Tensor(result)
+
+
+def segment_add_data(data: np.ndarray, segment_ids: np.ndarray,
+                     num_segments: int) -> np.ndarray:
+    """Grad-free segment sum of raw arrays, bitwise-equal to ``np.add.at``.
+
+    ``np.bincount`` and ``np.add.at`` both walk the input once in index
+    order, so each segment accumulates its contributions in the same
+    sequential order — the float64 results are bit-identical while
+    bincount's plain C loop is several times faster than the buffered
+    ufunc machinery. Trailing feature axes are folded into the bin index
+    (segment-major), which keeps per-(segment, feature) accumulation order
+    intact. bincount only accumulates in float64, so other dtypes fall
+    back to ``np.add.at`` to preserve their rounding behaviour.
+    """
+    out_shape = (num_segments,) + data.shape[1:]
+    if data.dtype != np.float64:
+        out = np.zeros(out_shape, dtype=data.dtype)
+        np.add.at(out, segment_ids, data)
+        return out
+    flat = np.ascontiguousarray(data.reshape(data.shape[0], -1))
+    width = flat.shape[1]
+    if width == 1:
+        out = np.bincount(segment_ids, weights=flat[:, 0],
+                          minlength=num_segments)
+        return out.reshape(out_shape)
+    folded = (segment_ids[:, None] * width
+              + np.arange(width, dtype=np.int64)[None, :]).ravel()
+    out = np.bincount(folded, weights=flat.ravel(),
+                      minlength=num_segments * width)
+    return out.reshape(out_shape)
 
 
 # ---------------------------------------------------------------------------
@@ -149,6 +188,8 @@ def clip(a, low: Optional[float], high: Optional[float]) -> Tensor:
     """Clamp values; gradient is passed through inside the active range."""
     a = ensure_tensor(a)
     out = np.clip(a.data, low, high)
+    if not (grad_mode._enabled and a.requires_grad):
+        return Tensor(out)
     inside = np.ones_like(a.data)
     if low is not None:
         inside = inside * (a.data >= low)
@@ -308,6 +349,8 @@ def max_reduce(a, axis: int, keepdims: bool = False) -> Tensor:
     """Max along one axis; gradient flows only to the (first) argmax."""
     a = ensure_tensor(a)
     out = a.data.max(axis=axis, keepdims=keepdims)
+    if not (grad_mode._enabled and a.requires_grad):
+        return Tensor(out)
     expanded = a.data.max(axis=axis, keepdims=True)
     mask = (a.data == expanded)
     # Route gradient to the first maximum only, matching torch semantics
@@ -388,6 +431,8 @@ def segment_sum(values, segment_ids: np.ndarray, num_segments: int) -> Tensor:
     """
     values = ensure_tensor(values)
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    if not grad_mode._enabled:
+        return Tensor(segment_add_data(values.data, segment_ids, num_segments))
     out_shape = (num_segments,) + values.data.shape[1:]
     out = np.zeros(out_shape, dtype=values.data.dtype)
     np.add.at(out, segment_ids, values.data)
@@ -414,6 +459,9 @@ def segment_softmax(scores, segment_ids: np.ndarray, num_segments: int) -> Tenso
     np.maximum.at(seg_max, segment_ids, data)
     shifted = data - seg_max[segment_ids]
     expd = np.exp(shifted)
+    if not grad_mode._enabled:
+        denom = segment_add_data(expd, segment_ids, num_segments)
+        return Tensor(expd / np.maximum(denom[segment_ids], 1e-30))
     denom = np.zeros((num_segments,) + data.shape[1:], dtype=data.dtype)
     np.add.at(denom, segment_ids, expd)
     out = expd / np.maximum(denom[segment_ids], 1e-30)

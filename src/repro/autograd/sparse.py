@@ -14,6 +14,10 @@ error to catch regressions. Symmetric propagators can additionally carry a
 pre-computed backward operator in an ``_spmm_transpose`` attribute
 (:meth:`RelationGraph.sym_propagator` points it at the matrix itself), so
 the backward pass never pays a ``T.tocsr()`` conversion.
+
+Grad mode: like every op, :func:`spmm` goes through ``ops._make``, so
+under :func:`~repro.autograd.grad_mode.no_grad` the product is returned
+as a constant tensor with no backward closure attached.
 """
 
 from __future__ import annotations

@@ -169,7 +169,16 @@ class Tensor:
 
         ``grad`` defaults to ones for scalar outputs (the common loss case);
         a non-scalar output requires an explicit upstream gradient.
+
+        Raises :class:`RuntimeError` on tape-free tensors — results of ops
+        run under :func:`~repro.autograd.grad_mode.no_grad`, detached
+        tensors, or constants — instead of silently doing nothing.
         """
+        if not self.requires_grad and self._backward is None:
+            raise RuntimeError(
+                "backward() on a tensor that does not require grad and has "
+                "no recorded tape (created under no_grad(), detached, or a "
+                "constant)")
         if grad is None:
             if self.data.size != 1:
                 raise ValueError(

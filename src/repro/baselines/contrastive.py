@@ -29,7 +29,7 @@ from typing import Optional
 import numpy as np
 import scipy.sparse as sp
 
-from ..autograd import ops, spmm
+from ..autograd import no_grad, ops, spmm
 from ..autograd.tensor import Tensor
 from ..detection import BaseDetector
 from ..graphs.graph import RelationGraph
@@ -132,13 +132,15 @@ class CoLA(BaseDetector):
         self.train_state = train_detector(net, loss_fn, self.epochs, self.lr)
         self.loss_history = self.train_state.loss_history
 
-        h = ops.row_normalize(net.encoder(x, prop))
-        r = ops.row_normalize(net.readout_proj(readout_raw))
-        pos = sigmoid(net.disc(h, r).data)
-        neg_total = np.zeros_like(pos)
-        for _ in range(self.eval_rounds):
-            shift = _derangement(merged.num_nodes, rng)
-            neg_total += sigmoid(net.disc(h, ops.gather_rows(r, shift)).data)
+        with no_grad():
+            h = ops.row_normalize(net.encoder(x, prop))
+            r = ops.row_normalize(net.readout_proj(readout_raw))
+            pos = sigmoid(net.disc(h, r).data)
+            neg_total = np.zeros_like(pos)
+            for _ in range(self.eval_rounds):
+                shift = _derangement(merged.num_nodes, rng)
+                neg_total += sigmoid(
+                    net.disc(h, ops.gather_rows(r, shift)).data)
         self._scores = minmax(neg_total / self.eval_rounds - pos)
         return self
 
@@ -364,11 +366,12 @@ class SLGAD(BaseDetector):
         self.train_state = train_detector(net, loss_fn, self.epochs, self.lr)
         self.loss_history = self.train_state.loss_history
 
-        h = net.encoder(context, prop)
-        gen_err = np.linalg.norm(net.regressor(h).data - graph.x, axis=1)
-        hn = ops.row_normalize(h)
-        r = ops.row_normalize(net.readout_proj(context))
-        con_score = 1.0 - sigmoid(net.disc(hn, r).data)
+        with no_grad():
+            h = net.encoder(context, prop)
+            gen_err = np.linalg.norm(net.regressor(h).data - graph.x, axis=1)
+            hn = ops.row_normalize(h)
+            r = ops.row_normalize(net.readout_proj(context))
+            con_score = 1.0 - sigmoid(net.disc(hn, r).data)
         self._scores = (self.balance * minmax(gen_err)
                         + (1.0 - self.balance) * minmax(con_score))
         return self

@@ -28,7 +28,7 @@ from typing import Optional
 import numpy as np
 import scipy.sparse as sp
 
-from ..autograd import ops
+from ..autograd import no_grad, ops
 from ..autograd.tensor import Tensor
 from ..detection import BaseDetector
 from ..graphs.multiplex import MultiplexGraph
@@ -84,8 +84,9 @@ class DOMINANT(BaseDetector):
 
         self.train_state = train_detector(net, loss_fn, self.epochs, self.lr)
         self.loss_history = self.train_state.loss_history
-        z = net.encoder(x, prop)
-        x_rec = net.decoder(z, prop)
+        with no_grad():
+            z = net.encoder(x, prop)
+            x_rec = net.decoder(z, prop)
         self._scores = reconstruction_scores(x_rec.data, graph.x, z.data,
                                              merged, rng, alpha=self.alpha)
         return self
@@ -137,9 +138,10 @@ class GCNAE(BaseDetector):
 
         self.train_state = train_detector(net, loss_fn, self.epochs, self.lr)
         self.loss_history = self.train_state.loss_history
-        h = ops.relu(net.base(x, prop))
-        mu = net.mu_head(h, prop)
-        x_rec = net.attr_decoder(mu, prop)
+        with no_grad():
+            h = ops.relu(net.base(x, prop))
+            mu = net.mu_head(h, prop)
+            x_rec = net.attr_decoder(mu, prop)
         self._scores = reconstruction_scores(x_rec.data, graph.x, mu.data,
                                              merged, rng, alpha=self.alpha)
         return self
@@ -185,9 +187,10 @@ class AnomalyDAE(BaseDetector):
 
         self.train_state = train_detector(net, loss_fn, self.epochs, self.lr)
         self.loss_history = self.train_state.loss_history
-        z_s = net.struct_encoder(x, prop)
-        z_a = net.attr_encoder(x)
-        x_rec = net.attr_decoder(z_s)
+        with no_grad():
+            z_s = net.struct_encoder(x, prop)
+            z_a = net.attr_encoder(x)
+            x_rec = net.attr_decoder(z_s)
         z = (z_s.data + z_a.data) / 2.0
         self._scores = reconstruction_scores(x_rec.data, graph.x, z, merged,
                                              rng, alpha=self.alpha)
@@ -300,12 +303,15 @@ class GADNR(BaseDetector):
 
         self.train_state = train_detector(net, loss_fn, self.epochs, self.lr)
         self.loss_history = self.train_state.loss_history
-        z = net.encoder(x, prop)
-        self_err = np.linalg.norm(net.self_decoder(z).data - graph.x, axis=1)
-        deg_err = np.abs(net.degree_decoder(z).data.ravel()
-                         - np.log1p(merged.degrees()))
-        neigh_err = np.linalg.norm(net.neigh_mean_decoder(z).data
-                                   - neighbor_mean(graph.x, merged), axis=1)
+        with no_grad():
+            z = net.encoder(x, prop)
+            self_err = np.linalg.norm(net.self_decoder(z).data - graph.x,
+                                      axis=1)
+            deg_err = np.abs(net.degree_decoder(z).data.ravel()
+                             - np.log1p(merged.degrees()))
+            neigh_err = np.linalg.norm(net.neigh_mean_decoder(z).data
+                                       - neighbor_mean(graph.x, merged),
+                                       axis=1)
         w_self, w_deg, w_neigh = self.weights
         self._scores = (w_self * minmax(self_err) + w_deg * minmax(deg_err)
                         + w_neigh * minmax(neigh_err)) / (w_self + w_deg + w_neigh)
@@ -379,7 +385,8 @@ class ADAGAD(BaseDetector):
                                               stage2_state])
         self.loss_history = self.train_state.loss_history
 
-        x_rec = net.decoder(frozen_z, prop).data
+        with no_grad():
+            x_rec = net.decoder(frozen_z, prop).data
         self._scores = reconstruction_scores(x_rec, graph.x, frozen_z.data,
                                              merged, rng, alpha=self.alpha)
         return self

@@ -23,7 +23,7 @@ from typing import Optional
 import numpy as np
 import scipy.sparse as sp
 
-from ..autograd import ops
+from ..autograd import no_grad, ops
 from ..autograd.tensor import Tensor
 from ..detection import BaseDetector
 from ..graphs.graph import RelationGraph
@@ -88,8 +88,9 @@ class ComGA(BaseDetector):
 
         self.train_state = train_detector(net, loss_fn, self.epochs, self.lr)
         self.loss_history = self.train_state.loss_history
-        z = net.encoder(x, prop).data
-        x_rec = net.attr_decoder(net.encoder(x, prop), prop).data
+        with no_grad():
+            z = net.encoder(x, prop).data
+            x_rec = net.attr_decoder(net.encoder(x, prop), prop).data
         self._scores = reconstruction_scores(x_rec, features, z, merged, rng,
                                              alpha=self.alpha)
         return self

@@ -17,7 +17,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..autograd import ops
+from ..autograd import no_grad, ops
 from ..autograd.tensor import Tensor
 from ..detection import BaseDetector
 from ..graphs.masking import edge_mask
@@ -91,10 +91,12 @@ class AnomMAN(BaseDetector):
         att /= att.sum()
         fused_rec = np.zeros_like(graph.x)
         struct_err = np.zeros(graph.num_nodes)
-        for v, (rel, prop) in enumerate(zip(relations, props)):
-            z = net.encoders[v](x, prop)
-            fused_rec += att[v] * net.decoders[v](z, prop).data
-            struct_err += att[v] * structure_errors_sampled(z.data, rel, rng)
+        with no_grad():
+            for v, (rel, prop) in enumerate(zip(relations, props)):
+                z = net.encoders[v](x, prop)
+                fused_rec += att[v] * net.decoders[v](z, prop).data
+                struct_err += att[v] * structure_errors_sampled(z.data, rel,
+                                                                rng)
         attr_err = np.linalg.norm(fused_rec - graph.x, axis=1)
         self._scores = (self.alpha * minmax(attr_err)
                         + (1.0 - self.alpha) * minmax(struct_err))

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..autograd import no_grad
 from ..graphs.multiplex import MultiplexGraph
 from .model import UMGAD
 from .scoring import attribute_errors, structure_errors
@@ -78,13 +79,21 @@ class AnomalyExplainer:
         self._prepare()
 
     def _prepare(self) -> None:
+        from contextlib import nullcontext
+
+        from .scoring import fast_score_enabled
+
         model, graph = self.model, self.graph
         cfg = model.config
-        fused, _ = model._masked_eval_recon(model.networks.attr, graph)
+        # no_grad: evidence gathering is pure inference — tape-free
+        # forwards through the same grad-free engine scoring uses (and the
+        # same REPRO_DISABLE_FAST_SCORE escape hatch).
+        with (no_grad() if fast_score_enabled() else nullcontext()):
+            fused, _ = model._masked_eval_recon(model.networks.attr, graph)
+            _, per_rel = model._fused_eval_recon(model.networks.struct, graph)
         self._fused = fused
         self._attr_err = attribute_errors(fused, graph.x,
                                           metric=cfg.attr_score_metric)
-        _, per_rel = model._fused_eval_recon(model.networks.struct, graph)
         self._struct_err = {}
         for name, decoded in zip(graph.relation_names, per_rel):
             self._struct_err[name] = structure_errors(

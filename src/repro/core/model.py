@@ -28,11 +28,12 @@ Documented deviations from the paper (also listed in DESIGN.md):
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..autograd import ops
+from ..autograd import is_grad_enabled, no_grad, ops
 from ..autograd.tensor import Tensor
 from ..detection import BaseDetector
 from ..engine import (
@@ -51,7 +52,12 @@ from ..utils.timer import Timer
 from .config import UMGADConfig
 from .gmae import GMAE
 from .losses import dual_view_contrastive, masked_edge_loss, scaled_cosine_error
-from .scoring import attribute_errors, combine_view_score, structure_errors
+from .scoring import (
+    attribute_errors,
+    combine_view_score,
+    fast_score_enabled,
+    structure_errors,
+)
 
 
 class _Networks(Module):
@@ -316,8 +322,17 @@ class UMGAD(BaseDetector):
         weights = np.exp(raw - raw.max())
         return weights / weights.sum()
 
-    def _fused_eval_recon(self, bank: ModuleList, graph: MultiplexGraph):
-        """Mask-free reconstruction pass; returns (fused, per-relation)."""
+    def _fused_eval_recon(self, bank: ModuleList, graph: MultiplexGraph,
+                          cache: Optional[dict] = None):
+        """Mask-free reconstruction pass; returns (fused, per-relation).
+
+        ``cache`` — a per-scoring-call dict — memoises the pass per bank,
+        so the views of one :meth:`_compute_scores` call never repeat an
+        identical full forward (the pass consumes no RNG, so reuse is
+        bitwise-invisible).
+        """
+        if cache is not None and id(bank) in cache:
+            return cache[id(bank)]
         x = Tensor(graph.x)
         relations = self._relation_list(graph)
         weights = self._eval_fusion_weights()
@@ -327,9 +342,12 @@ class UMGAD(BaseDetector):
             rec = bank[r].forward(x, rel).data
             per_rel.append(rec)
             fused = fused + weights[r] * rec
+        if cache is not None:
+            cache[id(bank)] = (fused, per_rel)
         return fused, per_rel
 
-    def _masked_eval_recon(self, bank: ModuleList, graph: MultiplexGraph):
+    def _masked_eval_recon(self, bank: ModuleList, graph: MultiplexGraph,
+                           cache: Optional[dict] = None):
         """Imputation-style reconstruction for scoring.
 
         Nodes are partitioned into ``ceil(1/r_m)`` disjoint groups; each
@@ -338,24 +356,36 @@ class UMGAD(BaseDetector):
         an unmasked pass lets the autoencoder copy its input, flattening
         the anomaly signal. Falls back to the unmasked pass when masking is
         ablated (w/o M), which is exactly that variant's point.
+
+        Fast path (the default, see :func:`fast_score_enabled`): when the
+        call runs under :func:`~repro.autograd.no_grad`, the group loop is
+        replaced by one stacked forward per relation
+        (:meth:`~repro.core.gmae.GMAE.impute_grouped`) — bitwise-identical
+        and pinned by the parity fixtures.
         """
         if not self.config.use_mask:
-            return self._fused_eval_recon(graph=graph, bank=bank)
+            return self._fused_eval_recon(graph=graph, bank=bank, cache=cache)
         x = Tensor(graph.x)
         relations = self._relation_list(graph)
         weights = self._eval_fusion_weights()
         n = graph.num_nodes
         num_groups = max(2, int(np.ceil(1.0 / self.config.mask_ratio)))
         perm = self._rng.permutation(n)
-        groups = np.array_split(perm, num_groups)
+        groups = [g for g in np.array_split(perm, num_groups) if g.size]
 
-        per_rel = [np.zeros_like(graph.x) for _ in relations]
-        for group in groups:
-            if group.size == 0:
-                continue
-            for r, rel in enumerate(relations):
-                rec = bank[r].forward(x, rel, masked_nodes=group).data
-                per_rel[r][group] = rec[group]
+        # Batched only when the fast engine is on AND the tape is off —
+        # checking the flag here (not just the grad state) keeps the
+        # REPRO_DISABLE_FAST_SCORE escape hatch effective even when a
+        # caller wraps scoring in their own no_grad().
+        if fast_score_enabled() and not is_grad_enabled():
+            per_rel = [bank[r].impute_grouped(x, rel, groups)
+                       for r, rel in enumerate(relations)]
+        else:
+            per_rel = [np.zeros_like(graph.x) for _ in relations]
+            for group in groups:
+                for r, rel in enumerate(relations):
+                    rec = bank[r].forward(x, rel, masked_nodes=group).data
+                    per_rel[r][group] = rec[group]
 
         # Degree-aware fusion: a masked node can only be imputed from
         # relations where it actually has neighbors — fusing in a
@@ -378,7 +408,7 @@ class UMGAD(BaseDetector):
 
     def _view_score(self, graph: MultiplexGraph, fused: np.ndarray,
                     per_rel: List[np.ndarray], include_attr: bool,
-                    include_struct: bool) -> np.ndarray:
+                    include_struct: bool, fast: bool = False) -> np.ndarray:
         cfg = self.config
         relations = self._relation_list(graph)
         attr_err = None
@@ -400,41 +430,72 @@ class UMGAD(BaseDetector):
                 struct_errs.append(structure_errors(
                     decoded, rel, cfg.structure_score_mode, self._rng,
                     negatives_per_node=cfg.structure_score_negatives,
-                    exact_max_nodes=cfg.exact_score_max_nodes))
+                    exact_max_nodes=cfg.exact_score_max_nodes, fast=fast))
         return combine_view_score(attr_err, struct_errs, cfg.epsilon)
 
     def _compute_scores(self, graph: MultiplexGraph) -> np.ndarray:
+        """Eq. 19 over the configured views.
+
+        By default this runs the grad-free engine: the networks flip to
+        eval mode, the whole pass sits under ``no_grad()`` (tape-free
+        forwards, CSR attention kernels, stacked mask groups), identical
+        fused passes are shared through a per-call cache, and the sampled
+        structure scorer takes its fast kernels. ``REPRO_DISABLE_FAST_SCORE=1``
+        restores the sequential tape-recording path; both produce
+        bit-identical scores (pinned by ``tests/fixtures/score_parity.json``
+        and the in-process parity assertions).
+        """
         cfg = self.config
         nets = self.networks
         include_attr = cfg.mode in ("full", "att")
         include_struct = cfg.mode in ("full", "str", "sub")
+        fast = fast_score_enabled()
+        cache: Optional[dict] = {} if fast else None
         views = []
 
-        if cfg.use_original and cfg.mode != "sub":
-            fused, _ = self._masked_eval_recon(nets.attr, graph)
-            if cfg.mode in ("full", "str"):
-                # structure term from the structure-GMAE's decoded features
-                # (full-graph decode: edge prediction needs full context)
-                _, per_rel_struct = self._fused_eval_recon(nets.struct, graph)
-            else:
-                _, per_rel_struct = self._fused_eval_recon(nets.attr, graph)
-            views.append(self._view_score(
-                graph, fused, per_rel_struct, include_attr, include_struct))
+        was_training = nets.training
+        nets.eval()
+        try:
+            with (no_grad() if fast else nullcontext()):
+                if cfg.use_original and cfg.mode != "sub":
+                    fused, _ = self._masked_eval_recon(nets.attr, graph, cache)
+                    if cfg.mode in ("full", "str"):
+                        # structure term from the structure-GMAE's decoded
+                        # features (full-graph decode: edge prediction
+                        # needs full context)
+                        _, per_rel_struct = self._fused_eval_recon(
+                            nets.struct, graph, cache)
+                    else:
+                        # mode == "att": the view ignores the structure
+                        # term entirely, so don't pay a full fused pass
+                        # for decoded features nobody reads
+                        per_rel_struct = []
+                    views.append(self._view_score(
+                        graph, fused, per_rel_struct, include_attr,
+                        include_struct, fast=fast))
 
-        if cfg.use_augmented and cfg.use_attr_aug and cfg.mode in ("full", "att"):
-            fused, per_rel = self._masked_eval_recon(nets.attr_aug, graph)
-            if include_struct and cfg.mode == "full":
-                _, per_rel = self._fused_eval_recon(nets.attr_aug, graph)
-            views.append(self._view_score(
-                graph, fused, per_rel, include_attr,
-                include_struct and cfg.mode == "full"))
+                if cfg.use_augmented and cfg.use_attr_aug and \
+                        cfg.mode in ("full", "att"):
+                    fused, per_rel = self._masked_eval_recon(
+                        nets.attr_aug, graph, cache)
+                    if include_struct and cfg.mode == "full":
+                        _, per_rel = self._fused_eval_recon(
+                            nets.attr_aug, graph, cache)
+                    views.append(self._view_score(
+                        graph, fused, per_rel, include_attr,
+                        include_struct and cfg.mode == "full", fast=fast))
 
-        if cfg.use_augmented and cfg.use_subgraph_aug and cfg.mode in (
-                "full", "sub", "str"):
-            fused, _ = self._masked_eval_recon(nets.sub_aug, graph)
-            _, per_rel = self._fused_eval_recon(nets.sub_aug, graph)
-            views.append(self._view_score(
-                graph, fused, per_rel, include_attr, include_struct))
+                if cfg.use_augmented and cfg.use_subgraph_aug and \
+                        cfg.mode in ("full", "sub", "str"):
+                    fused, _ = self._masked_eval_recon(
+                        nets.sub_aug, graph, cache)
+                    _, per_rel = self._fused_eval_recon(
+                        nets.sub_aug, graph, cache)
+                    views.append(self._view_score(
+                        graph, fused, per_rel, include_attr, include_struct,
+                        fast=fast))
+        finally:
+            nets.train(was_training)
 
         if not views:
             raise RuntimeError(

@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..autograd import enable_grad
 from ..graphs.multiplex import MultiplexGraph
 from ..nn.module import Module
 from ..nn.optim import Optimizer
@@ -264,12 +265,19 @@ class Trainer:
             start = time.perf_counter()
             batch_losses: List[float] = []
             parts_sum: Dict[str, float] = {}
+            # enable_grad: training must record the tape even when the fit
+            # runs inside an ambient no_grad() region (e.g. a
+            # drift-triggered refit launched from a scoring loop).
             with (self.timer.measure("epoch") if self.timer is not None
-                  else nullcontext()):
+                  else nullcontext()), enable_grad():
                 for batch in self.batch_strategy.batches(graph, epoch):
                     loss, parts = self._split_result(fn(batch))
                     self.optimizer.zero_grad()
-                    loss.backward()
+                    if loss.requires_grad:
+                        loss.backward()
+                    # else: a constant loss (e.g. every component ablated
+                    # away) — backward() would raise on the tape-free
+                    # tensor, and there is nothing to optimise anyway
                     for callback in self.callbacks:
                         callback.after_backward(self, state, batch)
                     self.optimizer.step()

@@ -9,10 +9,34 @@ are treated as immutable once constructed.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
+
+
+@dataclass(frozen=True)
+class GATScatter:
+    """Pre-sorted edge structure for the grad-free GAT inference kernel.
+
+    ``src``/``dst`` list every directed edge of ``copies`` stacked graph
+    copies (plus per-copy self-loops when requested), in the exact order
+    the recording GAT forward would process them. ``perm`` stably sorts
+    those edges by destination, and ``indptr``/``indices`` describe the
+    resulting CSR row structure (row = destination node), whose per-row
+    stored order therefore matches the scatter-add accumulation order of
+    the recording path — the attention-weighted message reduction can run
+    as one CSR × dense product with bit-identical results.
+    """
+
+    src: np.ndarray         # (E,) directed sources, recording order
+    dst: np.ndarray         # (E,) directed destinations, recording order
+    perm: np.ndarray        # (E,) stable argsort of dst
+    indptr: np.ndarray      # (copies * n + 1,) CSR row pointers over dst
+    indices: np.ndarray     # (E,) == src[perm]
+    dst_sorted: np.ndarray  # (E,) == dst[perm]; monotone, cache-friendly
+    num_nodes: int          # copies * n
 
 
 def canonical_edges(edges: np.ndarray, num_nodes: int) -> np.ndarray:
@@ -64,6 +88,9 @@ class RelationGraph:
         self._adj: Optional[sp.csr_matrix] = None
         self._sym_prop: dict = {}
         self._degrees: Optional[np.ndarray] = None
+        self._directed: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._block_props: Dict[Tuple[int, bool], sp.csr_matrix] = {}
+        self._gat_scatters: Dict[Tuple[int, bool], GATScatter] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -72,13 +99,20 @@ class RelationGraph:
         return int(self.edges.shape[0])
 
     def directed_pairs(self) -> Tuple[np.ndarray, np.ndarray]:
-        """Return (src, dst) with both directions of every undirected edge."""
-        if self.num_edges == 0:
-            empty = np.empty(0, dtype=np.int64)
-            return empty, empty
-        src = np.concatenate([self.edges[:, 0], self.edges[:, 1]])
-        dst = np.concatenate([self.edges[:, 1], self.edges[:, 0]])
-        return src, dst
+        """Return (src, dst) with both directions of every undirected edge.
+
+        Cached — graphs are immutable, and message passing asks for this
+        every forward pass. Callers must not mutate the returned arrays.
+        """
+        if self._directed is None:
+            if self.num_edges == 0:
+                empty = np.empty(0, dtype=np.int64)
+                self._directed = (empty, empty)
+            else:
+                src = np.concatenate([self.edges[:, 0], self.edges[:, 1]])
+                dst = np.concatenate([self.edges[:, 1], self.edges[:, 0]])
+                self._directed = (src, dst)
+        return self._directed
 
     def adjacency(self) -> sp.csr_matrix:
         """Symmetric binary adjacency matrix (cached CSR)."""
@@ -125,6 +159,60 @@ class RelationGraph:
             prop._spmm_transpose = prop
             self._sym_prop[key] = prop
         return self._sym_prop[key]
+
+    def block_propagator(self, copies: int,
+                         add_self_loops: bool = True) -> sp.csr_matrix:
+        """Block-diagonal stack of ``copies`` × :meth:`sym_propagator`.
+
+        The grad-free scoring engine runs the ``g`` disjoint mask groups of
+        a masked evaluation as one stacked ``(g·n, f)`` forward; this is
+        the matching ``(g·n, g·n)`` propagation operator, built and cached
+        once per ``(copies, add_self_loops)`` alongside the other operator
+        caches. Each block's CSR rows are byte-identical to the single-copy
+        propagator's, so one wide spmm reproduces ``g`` narrow ones
+        bitwise.
+        """
+        if copies == 1:
+            return self.sym_propagator(add_self_loops)
+        key = (int(copies), bool(add_self_loops))
+        if key not in self._block_props:
+            base = self.sym_propagator(add_self_loops)
+            prop = sp.block_diag([base] * int(copies), format="csr")
+            prop._spmm_transpose = prop       # block-diag of symmetric blocks
+            self._block_props[key] = prop
+        return self._block_props[key]
+
+    def gat_scatter(self, copies: int = 1,
+                    add_self_loops: bool = True) -> GATScatter:
+        """Cached :class:`GATScatter` over ``copies`` stacked graph copies.
+
+        Edge order matches what ``copies`` sequential recording forwards
+        would produce per destination: every copy's directed edges keep
+        their relative order and its self-loop comes last, so the fast
+        kernel's per-segment accumulation order — and hence its bits —
+        equal the scatter-add path's.
+        """
+        key = (int(copies), bool(add_self_loops))
+        scatter = self._gat_scatters.get(key)
+        if scatter is None:
+            n = self.num_nodes
+            src1, dst1 = self.directed_pairs()
+            offsets = np.arange(int(copies), dtype=np.int64) * n
+            src = (src1[None, :] + offsets[:, None]).reshape(-1)
+            dst = (dst1[None, :] + offsets[:, None]).reshape(-1)
+            if add_self_loops:
+                loops = np.arange(int(copies) * n, dtype=np.int64)
+                src = np.concatenate([src, loops])
+                dst = np.concatenate([dst, loops])
+            total = int(copies) * n
+            perm = np.argsort(dst, kind="stable")
+            indptr = np.zeros(total + 1, dtype=np.int64)
+            np.cumsum(np.bincount(dst, minlength=total), out=indptr[1:])
+            scatter = GATScatter(src=src, dst=dst, perm=perm, indptr=indptr,
+                                 indices=src[perm], dst_sorted=dst[perm],
+                                 num_nodes=total)
+            self._gat_scatters[key] = scatter
+        return scatter
 
     # ------------------------------------------------------------------
     def remove_edges(self, edge_idx: np.ndarray) -> "RelationGraph":

@@ -11,7 +11,7 @@ from typing import Optional
 import numpy as np
 import scipy.sparse as sp
 
-from ..autograd import ops, spmm
+from ..autograd import grad_mode, ops, spmm
 from ..autograd.tensor import Tensor
 from . import init
 from .module import Module, Parameter
@@ -95,8 +95,17 @@ class GATConv(Module):
         )
 
     def forward(self, x: Tensor, src: np.ndarray, dst: np.ndarray,
-                num_nodes: Optional[int] = None) -> Tensor:
-        """Apply attention over the edge list ``(src[i] -> dst[i])``."""
+                num_nodes: Optional[int] = None,
+                scatter=None) -> Tensor:
+        """Apply attention over the edge list ``(src[i] -> dst[i])``.
+
+        ``scatter`` — a :class:`~repro.graphs.graph.GATScatter` covering
+        the same edges (plus this layer's self-loops) — routes the call
+        through the grad-free inference kernel when grad mode is off; it
+        is ignored while gradients are being recorded.
+        """
+        if scatter is not None and not grad_mode._enabled:
+            return self.inference_forward(x, scatter)
         n = num_nodes if num_nodes is not None else x.shape[0]
         src = np.asarray(src, dtype=np.int64)
         dst = np.asarray(dst, dtype=np.int64)
@@ -129,6 +138,96 @@ class GATConv(Module):
         else:
             out = ops.mean(out, axis=1)
         return ops.add(out, self.bias)
+
+    # ------------------------------------------------------------------
+    # Grad-free inference kernel
+    # ------------------------------------------------------------------
+    def inference_forward(self, x, scatter) -> Tensor:
+        """Tape-free forward over a pre-built scatter structure.
+
+        Bitwise-identical to :meth:`forward`: every elementwise step runs
+        the same numpy calls on the same shapes, and the per-edge
+        gather × attention × scatter-add message reduction is replaced by
+        one CSR product per head whose per-row stored order equals the
+        scatter-add accumulation order (see
+        :meth:`~repro.graphs.graph.RelationGraph.gat_scatter`). Inference
+        only — nothing is recorded on the tape.
+        """
+        data = x.data if isinstance(x, Tensor) else np.asarray(x)
+        h = data @ self.weight.data
+        return self.inference_from_hidden(h, scatter)
+
+    def attention_halves(self, h: np.ndarray) -> tuple:
+        """Per-node attention halves ``(alpha_src, alpha_dst)`` of ``h``.
+
+        Row-wise, so the batched masked scorer computes them once on the
+        shared rows and tiles, exactly as it does for ``h`` itself.
+        """
+        hh = h.reshape(h.shape[0], self.heads, self.out_features)
+        return ((hh * self.att_src.data).sum(axis=-1),
+                (hh * self.att_dst.data).sum(axis=-1))
+
+    def inference_from_hidden(self, h: np.ndarray, scatter,
+                              alphas: Optional[tuple] = None) -> Tensor:
+        """Finish :meth:`inference_forward` from ``h = x @ W``.
+
+        Split out so the batched masked scorer can assemble the stacked
+        hidden matrix (and, via ``alphas``, the stacked attention halves)
+        once — tiling the shared unmasked rows — instead of re-multiplying
+        every stacked copy of the input.
+        """
+        n = scatter.num_nodes
+        hh = h.reshape(n, self.heads, self.out_features)
+        alpha_src, alpha_dst = (alphas if alphas is not None
+                                else self.attention_halves(h))
+
+        # Everything per-edge runs in destination-sorted order: each edge's
+        # value is identical (elementwise ops commute with the permutation,
+        # the segment max is order-free, and the stable sort preserves
+        # per-segment accumulation order for the bincount), while the
+        # destination-side gathers become monotone and the attention values
+        # land directly in the CSR's stored order.
+        src_s, dst_s = scatter.indices, scatter.dst_sorted
+        logits = alpha_src[src_s] + alpha_dst[dst_s]
+        if logits.dtype == np.float64:
+            # one pass instead of where()+mul; x * 1.0 == x exactly
+            logits = np.where(logits > 0, logits,
+                              logits * self.negative_slope)
+        else:
+            # float32 inputs: the recording path's float64 `scale` promotes,
+            # so reproduce the promotion
+            scale = np.where(logits > 0, 1.0, self.negative_slope)
+            logits = logits * scale
+
+        seg_max = np.full((n, self.heads), -np.inf, dtype=logits.dtype)
+        if self.heads == 1:
+            # same max, unbuffered 1-D scatter is much faster than 2-D
+            np.maximum.at(seg_max[:, 0], dst_s, logits[:, 0])
+        else:
+            np.maximum.at(seg_max, dst_s, logits)
+        expd = np.exp(logits - seg_max[dst_s])
+        denom = ops.segment_add_data(expd, dst_s, n)
+        att = expd / np.maximum(denom[dst_s], 1e-30)
+
+        # match the recording path's promotion (float32 hidden states meet
+        # the float64 attention produced by the leaky-ReLU scale above)
+        out = np.empty((n, self.heads, self.out_features),
+                       dtype=np.result_type(att.dtype, h.dtype))
+        for head in range(self.heads):
+            weights = sp.csr_matrix(
+                (att[:, head], scatter.indices, scatter.indptr),
+                shape=(n, n))
+            out[:, head, :] = weights @ hh[:, head, :]
+
+        if self.concat_heads:
+            merged = out.reshape(n, self.heads * self.out_features)
+        elif self.heads == 1:
+            # mean over a single head is the identity (sum of one element
+            # divided by 1.0 — exact), so skip the reduction pass
+            merged = out[:, 0, :]
+        else:
+            merged = out.mean(axis=1)
+        return Tensor(merged + self.bias.data)
 
 
 class GCNConv(Module):

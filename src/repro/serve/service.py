@@ -17,6 +17,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..autograd import no_grad
 from ..detection import BaseDetector
 from ..graphs.io import graph_fingerprint
 from ..graphs.multiplex import MultiplexGraph
@@ -190,7 +191,16 @@ class DetectorService:
                 f"{type(detector).__name__} keeps no reusable networks, so "
                 "it can only serve the graph it was fitted on (fingerprint "
                 "mismatch); refit or serve a UMGAD checkpoint instead")
-        return score_graph(graph)
+        from contextlib import nullcontext
+
+        from ..core.scoring import fast_score_enabled
+
+        # Serving is inference by definition: run the request tape-free
+        # through the grad-free scoring engine — unless
+        # REPRO_DISABLE_FAST_SCORE=1 asks for the sequential
+        # tape-recording fallback end to end.
+        with (no_grad() if fast_score_enabled() else nullcontext()):
+            return score_graph(graph)
 
     def _entry(self, graph: MultiplexGraph,
                fingerprint: Optional[str] = None) -> _CacheEntry:

@@ -5,8 +5,11 @@ it consumes events through fixed-size windows, maintains the evolving
 graph with an :class:`~repro.stream.builder.IncrementalGraphBuilder`,
 scores every window snapshot through a
 :class:`~repro.serve.service.DetectorService` (passing the builder's
-incrementally-maintained fingerprint so the serve cache never rehashes),
-tracks per-node score trajectories, and raises typed alerts:
+incrementally-maintained fingerprint so the serve cache never rehashes;
+the service runs each scoring pass on the grad-free inference engine —
+:func:`repro.autograd.no_grad` — while drift-triggered refits re-enable
+gradients through the training engine), tracks per-node score
+trajectories, and raises typed alerts:
 
 * :class:`TopKEntrant` — a node entered the top-``k`` ranking that was not
   there in the previous window;

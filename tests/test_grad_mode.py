@@ -1,0 +1,402 @@
+"""Grad-mode semantics and grad-free kernel parity.
+
+The load-bearing guarantees of the inference engine:
+
+* ``no_grad()`` / ``enable_grad()`` nest, restore on exceptions, work as
+  decorators, and actually stop the tape (no parents, no closures, no
+  ``requires_grad`` propagation);
+* ``backward()`` raises cleanly on tape-free tensors;
+* every grad-free kernel — bincount segment ops, the CSR GAT attention
+  kernel, block-diagonal batched masked scoring, the fast sampled
+  structure scorer — is **bitwise identical** to the recording path it
+  replaces.
+"""
+
+import numpy as np
+import pytest
+
+from repro import autograd
+from repro.autograd import (
+    Tensor,
+    enable_grad,
+    is_grad_enabled,
+    no_grad,
+    ops,
+    set_grad_enabled,
+    spmm,
+    tensor,
+)
+from repro.core.gmae import GMAE
+from repro.core.scoring import structure_errors_sampled
+from repro.graphs import random_multiplex
+from repro.graphs.graph import RelationGraph
+from repro.nn import GATConv, Module, Parameter
+
+
+@pytest.fixture(autouse=True)
+def _grad_mode_reset():
+    # Every test starts and ends with gradients enabled.
+    assert is_grad_enabled()
+    yield
+    set_grad_enabled(True)
+
+
+def _graph(rng, n=60, avg_degree=4.0, name="rel"):
+    m = int(n * avg_degree / 2)
+    edges = rng.integers(0, n, size=(m, 2))
+    return RelationGraph(n, edges, name=name)
+
+
+# ---------------------------------------------------------------------------
+# Mode semantics
+# ---------------------------------------------------------------------------
+
+class TestGradModeSemantics:
+    def test_default_enabled(self):
+        assert is_grad_enabled()
+
+    def test_no_grad_disables_and_restores(self):
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_nesting(self):
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+            with enable_grad():
+                assert is_grad_enabled()
+                with no_grad():
+                    assert not is_grad_enabled()
+                assert is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_exception_safety(self):
+        with pytest.raises(ValueError):
+            with no_grad():
+                raise ValueError("boom")
+        assert is_grad_enabled()
+        set_grad_enabled(False)
+        with pytest.raises(ValueError):
+            with enable_grad():
+                raise ValueError("boom")
+        assert not is_grad_enabled()
+        set_grad_enabled(True)
+
+    def test_decorator_form(self):
+        @no_grad()
+        def scorer():
+            return is_grad_enabled()
+
+        @enable_grad()
+        def refit():
+            return is_grad_enabled()
+
+        assert scorer() is False
+        with no_grad():
+            assert refit() is True
+        assert is_grad_enabled()
+
+    def test_set_grad_enabled_returns_previous(self):
+        assert set_grad_enabled(False) is True
+        assert set_grad_enabled(True) is False
+
+    def test_context_manager_reusable(self):
+        ctx = no_grad()
+        with ctx:
+            with ctx:  # re-entrant on the same object
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+
+# ---------------------------------------------------------------------------
+# Ops honor the mode
+# ---------------------------------------------------------------------------
+
+class TestOpsHonorMode:
+    def test_no_parents_no_closures_no_requires_grad(self):
+        a = tensor(np.random.default_rng(0).normal(size=(4, 3)),
+                   requires_grad=True)
+        b = tensor(np.random.default_rng(1).normal(size=(3, 2)),
+                   requires_grad=True)
+        with no_grad():
+            out = ops.matmul(a, b)
+            summed = ops.sum(ops.relu(out))
+        for t in (out, summed):
+            assert not t.requires_grad
+            assert t._parents == ()
+            assert t._backward is None
+
+    def test_values_identical_under_both_modes(self):
+        rng = np.random.default_rng(3)
+        a = tensor(rng.normal(size=(5, 4)), requires_grad=True)
+        recorded = ops.softmax(ops.tanh(a))
+        with no_grad():
+            free = ops.softmax(ops.tanh(a))
+        assert np.array_equal(recorded.data, free.data)
+
+    def test_spmm_honors_mode(self):
+        import scipy.sparse as sp
+
+        mat = sp.random(6, 6, density=0.4, random_state=0, format="csr")
+        dense = tensor(np.random.default_rng(0).normal(size=(6, 2)),
+                       requires_grad=True)
+        with no_grad():
+            out = spmm(mat, dense)
+        assert not out.requires_grad and out._backward is None
+        assert np.array_equal(out.data, spmm(mat, dense).data)
+
+    def test_parameter_stays_leaf_with_grad_flag(self):
+        p = Parameter(np.ones((2, 2)))
+        with no_grad():
+            out = ops.mul(p, 2.0)
+        assert p.requires_grad          # the leaf itself is untouched
+        assert not out.requires_grad
+
+    def test_reenabled_after_context(self):
+        p = Parameter(np.ones(3))
+        with no_grad():
+            pass
+        loss = ops.sum(ops.mul(p, p))
+        loss.backward()
+        assert np.allclose(p.grad, 2.0 * np.ones(3))
+
+
+# ---------------------------------------------------------------------------
+# backward() on tape-free tensors
+# ---------------------------------------------------------------------------
+
+class TestBackwardErrors:
+    def test_no_grad_result_raises(self):
+        p = Parameter(np.ones(3))
+        with no_grad():
+            out = ops.sum(ops.mul(p, p))
+        with pytest.raises(RuntimeError, match="no_grad|tape"):
+            out.backward()
+
+    def test_constant_raises(self):
+        with pytest.raises(RuntimeError, match="does not require grad"):
+            Tensor(1.5).backward()
+
+    def test_detached_raises(self):
+        p = Parameter(np.ones(3))
+        out = ops.sum(ops.mul(p, p)).detach()
+        with pytest.raises(RuntimeError):
+            out.backward()
+
+    def test_leaf_parameter_still_accumulates(self):
+        p = Parameter(np.asarray(2.0))
+        p.backward()
+        assert p.grad == pytest.approx(1.0)
+
+
+# ---------------------------------------------------------------------------
+# Grad-free kernels are bitwise-identical
+# ---------------------------------------------------------------------------
+
+class TestSegmentKernelParity:
+    @pytest.mark.parametrize("shape", [(500,), (500, 1), (500, 7),
+                                       (500, 2, 5)])
+    def test_segment_add_data_matches_add_at(self, shape):
+        rng = np.random.default_rng(5)
+        values = rng.normal(size=shape)
+        ids = rng.integers(0, 40, size=shape[0])
+        expected = np.zeros((40,) + shape[1:])
+        np.add.at(expected, ids, values)
+        assert np.array_equal(
+            ops.segment_add_data(values, ids, 40), expected)
+
+    def test_segment_add_data_float32_fallback(self):
+        rng = np.random.default_rng(6)
+        values = rng.normal(size=(300, 3)).astype(np.float32)
+        ids = rng.integers(0, 20, size=300)
+        expected = np.zeros((20, 3), dtype=np.float32)
+        np.add.at(expected, ids, values)
+        out = ops.segment_add_data(values, ids, 20)
+        assert out.dtype == np.float32
+        assert np.array_equal(out, expected)
+
+    def test_segment_ops_same_bits_under_no_grad(self):
+        rng = np.random.default_rng(7)
+        values = tensor(rng.normal(size=(400, 4)), requires_grad=True)
+        scores = tensor(rng.normal(size=(400, 2)), requires_grad=True)
+        ids = rng.integers(0, 37, size=400)
+        recorded_sum = ops.segment_sum(values, ids, 37)
+        recorded_soft = ops.segment_softmax(scores, ids, 37)
+        with no_grad():
+            free_sum = ops.segment_sum(values, ids, 37)
+            free_soft = ops.segment_softmax(scores, ids, 37)
+        assert np.array_equal(recorded_sum.data, free_sum.data)
+        assert np.array_equal(recorded_soft.data, free_soft.data)
+
+
+class TestGATInferenceKernelParity:
+    @pytest.mark.parametrize("heads,concat", [(1, False), (2, True),
+                                              (3, False)])
+    def test_inference_forward_matches_recording(self, heads, concat):
+        rng = np.random.default_rng(11)
+        graph = _graph(rng, n=50)
+        layer = GATConv(8, 6, rng, heads=heads, concat_heads=concat)
+        x = tensor(rng.normal(size=(50, 8)))
+        src, dst = graph.directed_pairs()
+        recorded = layer(x, src, dst, num_nodes=50)
+        with no_grad():
+            fast = layer.inference_forward(
+                x, graph.gat_scatter(1, layer.add_self_loops))
+            dispatched = layer(x, src, dst, num_nodes=50,
+                               scatter=graph.gat_scatter(
+                                   1, layer.add_self_loops))
+        assert np.array_equal(recorded.data, fast.data)
+        assert np.array_equal(recorded.data, dispatched.data)
+
+    def test_scatter_ignored_while_recording(self):
+        rng = np.random.default_rng(12)
+        graph = _graph(rng, n=30)
+        layer = GATConv(5, 4, rng)
+        x = tensor(rng.normal(size=(30, 5)), requires_grad=True)
+        src, dst = graph.directed_pairs()
+        out = layer(x, src, dst, num_nodes=30,
+                    scatter=graph.gat_scatter(1, True))
+        assert out.requires_grad      # recording path was used
+
+    def test_block_propagator_tiles_base(self):
+        rng = np.random.default_rng(13)
+        graph = _graph(rng, n=25)
+        base = graph.sym_propagator()
+        block = graph.block_propagator(3)
+        assert block.shape == (75, 75)
+        dense = rng.normal(size=(25, 4))
+        stacked = np.tile(dense, (3, 1))
+        wide = block @ stacked
+        narrow = base @ dense
+        for j in range(3):
+            assert np.array_equal(wide[j * 25:(j + 1) * 25], narrow)
+        assert graph.block_propagator(3) is block      # cached
+        assert graph.block_propagator(1) is base
+
+    def test_gat_scatter_cached_and_consistent(self):
+        rng = np.random.default_rng(14)
+        graph = _graph(rng, n=20)
+        s1 = graph.gat_scatter(2, True)
+        assert graph.gat_scatter(2, True) is s1
+        assert s1.num_nodes == 40
+        # loops included, both directions of every edge, per copy
+        assert s1.src.size == 2 * (2 * graph.num_edges) + 40
+        assert np.array_equal(s1.indices, s1.src[s1.perm])
+        assert s1.indptr[-1] == s1.src.size
+
+
+class TestImputeGroupedParity:
+    def _model_bank(self, rng, kind, layers=1, decoder_propagation=1):
+        return GMAE(10, 6, rng, encoder=kind, encoder_layers=layers,
+                    decoder_propagation=decoder_propagation)
+
+    @pytest.mark.parametrize("kind,layers,dec_prop", [
+        ("gat", 1, 1), ("gat", 2, 1), ("sgc", 1, 1), ("sgc", 2, 2),
+    ])
+    def test_matches_sequential_masked_forwards(self, kind, layers, dec_prop):
+        rng = np.random.default_rng(21)
+        graph = _graph(rng, n=48)
+        gmae = self._model_bank(rng, kind, layers, dec_prop)
+        x = tensor(rng.normal(size=(48, 10)))
+        perm = rng.permutation(48)
+        groups = [g for g in np.array_split(perm, 3) if g.size]
+
+        with no_grad():
+            expected = np.zeros((48, 10))
+            for group in groups:
+                rec = gmae.forward(x, graph, masked_nodes=group).data
+                expected[group] = rec[group]
+            batched = gmae.impute_grouped(x, graph, groups)
+        assert np.array_equal(batched, expected)
+
+    def test_multi_head_gat_matches_sequential(self):
+        rng = np.random.default_rng(23)
+        graph = _graph(rng, n=36)
+        gmae = GMAE(10, 6, rng, encoder="gat", gat_heads=2)
+        x = tensor(rng.normal(size=(36, 10)))
+        groups = [g for g in np.array_split(rng.permutation(36), 4) if g.size]
+        with no_grad():
+            expected = np.zeros((36, 10))
+            for group in groups:
+                rec = gmae.forward(x, graph, masked_nodes=group).data
+                expected[group] = rec[group]
+            batched = gmae.impute_grouped(x, graph, groups)
+        assert np.array_equal(batched, expected)
+
+    def test_requires_no_grad(self):
+        rng = np.random.default_rng(22)
+        graph = _graph(rng, n=20)
+        gmae = self._model_bank(rng, "sgc")
+        x = tensor(rng.normal(size=(20, 10)))
+        with pytest.raises(RuntimeError, match="no_grad"):
+            gmae.impute_grouped(x, graph, [np.arange(10)])
+
+
+class TestStructureScorerParity:
+    def test_fast_matches_legacy_bitwise(self):
+        rng = np.random.default_rng(31)
+        graph = _graph(rng, n=120, avg_degree=5.0)
+        decoded = rng.normal(size=(120, 9))
+        legacy = structure_errors_sampled(
+            decoded, graph, np.random.default_rng(3), negatives_per_node=15)
+        fast = structure_errors_sampled(
+            decoded, graph, np.random.default_rng(3), negatives_per_node=15,
+            fast=True)
+        assert np.array_equal(legacy, fast)
+
+    def test_fast_matches_legacy_no_edges(self):
+        graph = RelationGraph(30, np.empty((0, 2), dtype=np.int64))
+        decoded = np.random.default_rng(4).normal(size=(30, 5))
+        legacy = structure_errors_sampled(
+            decoded, graph, np.random.default_rng(5))
+        fast = structure_errors_sampled(
+            decoded, graph, np.random.default_rng(5), fast=True)
+        assert np.array_equal(legacy, fast)
+
+
+# ---------------------------------------------------------------------------
+# Training still works around / inside the mode
+# ---------------------------------------------------------------------------
+
+class TestTrainingInteraction:
+    def test_trainer_enables_grad_inside_no_grad(self):
+        from repro.core import UMGAD, UMGADConfig
+
+        rng = np.random.default_rng(41)
+        graph = random_multiplex(30, 2, 6, rng, avg_degree=3.0)
+        with no_grad():
+            model = UMGAD(UMGADConfig(epochs=2, seed=0)).fit(graph)
+        assert len(model.loss_history) == 2
+        assert model.loss_history[1] < model.loss_history[0]
+        assert model.decision_scores().shape == (30,)
+
+    def test_module_mode_flags_recurse(self):
+        class Outer(Module):
+            def __init__(self):
+                super().__init__()
+                rng = np.random.default_rng(0)
+                self.inner = GATConv(3, 2, rng)
+
+        outer = Outer()
+        assert outer.training and outer.inner.training
+        outer.eval()
+        assert not outer.training and not outer.inner.training
+        outer.train()
+        assert outer.training and outer.inner.training
+
+    def test_networks_back_in_train_mode_after_scoring(self):
+        from repro.core import UMGAD, UMGADConfig
+
+        rng = np.random.default_rng(42)
+        graph = random_multiplex(24, 2, 5, rng, avg_degree=3.0)
+        model = UMGAD(UMGADConfig(epochs=1, seed=0)).fit(graph)
+        assert model.networks.training
+        model.score_graph(graph)
+        assert model.networks.training
+        model.networks.eval()
+        model.score_graph(graph)
+        assert not model.networks.training

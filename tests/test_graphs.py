@@ -51,6 +51,24 @@ class TestRelationGraph:
         src, dst = tiny_relation.directed_pairs()
         assert len(src) == 2 * tiny_relation.num_edges
 
+    def test_degrees_memoized(self, tiny_relation):
+        first = tiny_relation.degrees()
+        assert tiny_relation.degrees() is first
+
+    def test_directed_pairs_memoized(self, tiny_relation):
+        assert tiny_relation.directed_pairs()[0] is \
+            tiny_relation.directed_pairs()[0]
+
+    def test_functional_updates_do_not_share_degree_cache(self, tiny_relation):
+        # remove/keep/add return fresh graphs with fresh caches — the
+        # original's memoized degrees must not leak into the derived graph
+        tiny_relation.degrees()
+        smaller = tiny_relation.remove_edges(np.array([0]))
+        np.testing.assert_array_equal(
+            smaller.degrees(),
+            np.asarray(smaller.adjacency().sum(axis=1)).ravel())
+        assert smaller.degrees().sum() == tiny_relation.degrees().sum() - 2
+
     def test_propagator_normalisation(self, tiny_relation):
         prop = tiny_relation.sym_propagator()
         # Symmetric normalisation: entries in [0, 1], symmetric matrix,

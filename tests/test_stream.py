@@ -158,6 +158,40 @@ class TestBuilder:
             np.testing.assert_array_equal(snapshot[name].edges,
                                           tiny_multiplex[name].edges)
 
+    def test_snapshot_mutation_refreshes_relation_caches(self, rng):
+        # RelationGraph memoizes degrees/propagators; the builder must hand
+        # out a *new* relation object (fresh caches) once edges mutate, while
+        # untouched relations keep sharing the previous snapshot's object
+        # (and its warm caches).
+        graph = random_multiplex(40, 2, 6, rng, avg_degree=3.0)
+        names = graph.relation_names
+        builder = IncrementalGraphBuilder.from_graph(graph)
+        snap1 = builder.snapshot()
+        deg_before = {n: snap1[n].degrees().copy() for n in names}
+
+        u, v = snap1[names[0]].edges[0]
+        builder.apply(RemoveEdge(names[0], int(u), int(v)))
+        snap2 = builder.snapshot()
+
+        assert snap2[names[0]] is not snap1[names[0]]
+        assert snap2[names[1]] is snap1[names[1]]      # cache reuse
+        np.testing.assert_array_equal(snap1[names[0]].degrees(),
+                                      deg_before[names[0]])  # old stays valid
+        expected = deg_before[names[0]].copy()
+        expected[[u, v]] -= 1
+        np.testing.assert_array_equal(snap2[names[0]].degrees(), expected)
+
+    def test_snapshot_node_growth_resizes_degrees(self, rng):
+        graph = random_multiplex(20, 2, 4, rng, avg_degree=3.0)
+        builder = IncrementalGraphBuilder.from_graph(graph)
+        name = graph.relation_names[0]
+        before = builder.snapshot()[name].degrees()
+        builder.apply(AddNode(np.zeros(4)))
+        after = builder.snapshot()[name].degrees()
+        assert before.size == 20 and after.size == 21
+        np.testing.assert_array_equal(after[:20], before)
+        assert after[20] == 0
+
     def test_full_stream_replay_matches_static_build(self, rng):
         graph = random_multiplex(60, 3, 8, rng, avg_degree=4.0)
         events, _truth = synthesize_stream(
