@@ -13,6 +13,9 @@ Public surface (see README for a tour):
 * :mod:`repro.stream` — streaming ingestion (typed events, JSONL logs,
   :class:`~repro.stream.IncrementalGraphBuilder`) and online monitoring
   (:class:`~repro.stream.StreamMonitor` with drift-aware alerts).
+* :mod:`repro.server` — the HTTP serving gateway: micro-batched
+  ``/v1/score``, stream ``/v1/events``, model hot-swap, Prometheus
+  ``/metrics``, plus a stdlib client (:class:`~repro.server.ServerClient`).
 """
 
 from .core import UMGAD, UMGADConfig, ablation_config, select_threshold
@@ -21,7 +24,7 @@ from .detection import BaseDetector
 from .eval import macro_f1, roc_auc
 from .graphs import MultiplexGraph, RelationGraph
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BaseDetector",

@@ -9,6 +9,8 @@ Subcommands::
     python -m repro.cli save --dataset retail --out model.npz
     python -m repro.cli score --model model.npz --graph my_graph.npz
     python -m repro.cli serve-bench --model model.npz --graph my_graph.npz
+    python -m repro.cli serve --model model.npz --port 8765
+    python -m repro.cli serve --registry models/ --activate retail-v1
     python -m repro.cli stream --events events.jsonl --model model.npz --window 500
     python -m repro.cli experiment table2 --profile fast
     python -m repro.cli datasets
@@ -20,9 +22,11 @@ train-once entry point (fit + checkpoint, nothing else). ``score`` answers
 from a checkpoint without retraining, ``serve-bench`` measures cold-load vs
 warm-cache serving latency, ``stream`` replays a JSONL event log through
 the online monitor (one report per window; with ``--output json``, one
-JSON object per line), and ``experiment`` regenerates one paper
-table/figure. ``detect``/``score``/``serve-bench`` take ``--output json``
-for machine-readable results.
+JSON object per line), ``serve`` runs the HTTP serving gateway
+(:mod:`repro.server`: micro-batched ``/v1/score``, ``/v1/events``,
+model hot-swap, Prometheus ``/metrics``), and ``experiment`` regenerates
+one paper table/figure. ``detect``/``score``/``serve-bench`` take
+``--output json`` for machine-readable results.
 """
 
 from __future__ import annotations
@@ -141,6 +145,41 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="warm-cache requests to average over")
     _add_dtype_arg(bench)
     _add_output_arg(bench)
+
+    serve = sub.add_parser(
+        "serve", help="run the HTTP serving gateway (repro.server)")
+    serve.add_argument("--model",
+                       help="checkpoint to serve (or use --registry + "
+                            "--activate)")
+    serve.add_argument("--registry",
+                       help="ModelRegistry directory backing /v1/models")
+    serve.add_argument("--activate", metavar="NAME",
+                       help="registry model to serve initially")
+    serve.add_argument("--graph",
+                       help="initial .npz multiplex snapshot seeding the "
+                            "/v1/events stream builder")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="TCP port (0 picks an ephemeral port)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="micro-batch worker threads")
+    serve.add_argument("--max-queue", type=int, default=64,
+                       help="admission bound: pending requests beyond this "
+                            "are refused with 429")
+    serve.add_argument("--linger-ms", type=float, default=2.0,
+                       help="how long a score batch stays open for "
+                            "same-graph joiners")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="max requests answered by one scoring pass")
+    serve.add_argument("--cache-size", type=int, default=8,
+                       help="DetectorService LRU size (distinct graphs)")
+    serve.add_argument("--window", type=int, default=500,
+                       help="stream monitor window for /v1/events")
+    serve.add_argument("--stride", type=int, default=None,
+                       help="stream monitor stride (default: --window)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log one line per HTTP request")
+    _add_dtype_arg(serve)
 
     stream = sub.add_parser(
         "stream", help="replay a JSONL event log through the online monitor")
@@ -409,6 +448,52 @@ def _run_stream(args) -> int:
     return 0
 
 
+def _run_serve(args) -> int:
+    from .serve import DetectorService, ModelRegistry
+    from .server import Gateway, make_server
+
+    if not args.model and not (args.registry and args.activate):
+        raise ValueError(
+            "serve needs --model PATH, or --registry DIR with "
+            "--activate NAME")
+
+    registry = ModelRegistry(args.registry) if args.registry else None
+    active = None
+    if args.model:
+        # _resolve_dtype already applied the checkpoint's (or --dtype)
+        # precision before anything was built.
+        service = DetectorService(args.model, cache_size=args.cache_size,
+                                  match_dtype=False)
+    else:
+        service = registry.service(args.activate,
+                                   cache_size=args.cache_size,
+                                   match_dtype=args.dtype is None)
+        active = args.activate
+
+    base_graph = None
+    if args.graph:
+        base_graph, _labels = load_multiplex(args.graph)
+
+    gateway = Gateway(service, registry=registry, active_model=active,
+                      base_graph=base_graph, workers=args.workers,
+                      max_queue=args.max_queue, linger_ms=args.linger_ms,
+                      max_batch=args.max_batch, window=args.window,
+                      stride=args.stride)
+    server = make_server(gateway, host=args.host, port=args.port,
+                         verbose=args.verbose)
+    # The resolved port line is machine-readable on purpose: --port 0
+    # callers (CI smoke, scripts) parse it to find the ephemeral port.
+    print(f"serving {type(service.detector).__name__} "
+          f"on {server.url}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.close()
+    return 0
+
+
 def _run_experiment(args) -> int:
     module = _EXPERIMENTS[args.name]
     profile = _PROFILES[args.profile]
@@ -447,7 +532,7 @@ def main(argv=None) -> int:
         return _run_detect(args)
     if args.command == "save":
         return _run_save(args)
-    if args.command in ("score", "serve-bench", "stream"):
+    if args.command in ("score", "serve-bench", "stream", "serve"):
         # Serving commands run against user-supplied artifacts; turn the
         # operational failure modes (bad checkpoint, wrong graph, bad
         # event log, bad node) into one-line errors instead of tracebacks.
@@ -460,10 +545,16 @@ def main(argv=None) -> int:
                 return _run_score(args)
             if args.command == "stream":
                 return _run_stream(args)
+            if args.command == "serve":
+                return _run_serve(args)
             return _run_serve_bench(args)
         except (CheckpointError, ServiceError, FileNotFoundError,
-                ValueError, IndexError) as exc:
-            print(f"error: {exc}", file=sys.stderr)
+                ValueError, IndexError, KeyError) as exc:
+            # KeyError's str() wraps the message in quotes; everything
+            # else (notably OSError subclasses) formats itself best.
+            message = exc.args[0] if isinstance(exc, KeyError) and \
+                exc.args else exc
+            print(f"error: {message}", file=sys.stderr)
             return 1
     if args.command == "experiment":
         return _run_experiment(args)

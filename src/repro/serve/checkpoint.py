@@ -34,6 +34,7 @@ import inspect
 import json
 import pathlib
 import zipfile
+import zlib
 from typing import Dict, Optional, Tuple, Type
 
 import numpy as np
@@ -256,9 +257,18 @@ def load_checkpoint(path, match_dtype: bool = False) -> BaseDetector:
 
         if str(np.dtype(get_default_dtype())) != header["dtype"]:
             set_default_dtype(header["dtype"])
-    with np.load(path, allow_pickle=False) as archive:
-        payload = {name: archive[name] for name in archive.files
-                   if name != _HEADER_KEY}
+    try:
+        # A valid header does not imply readable payloads: truncation or a
+        # bit flip past the header entry surfaces here as a zip CRC error,
+        # a zlib failure, or a short read deep inside numpy — all of which
+        # must come out as CheckpointError, not a numpy traceback.
+        with np.load(path, allow_pickle=False) as archive:
+            payload = {name: archive[name] for name in archive.files
+                       if name != _HEADER_KEY}
+    except (zipfile.BadZipFile, zlib.error, OSError, ValueError,
+            EOFError) as exc:
+        raise CheckpointError(
+            f"{path}: corrupted checkpoint payload ({exc})") from exc
 
     checksum = _payload_checksum(payload)
     if checksum != header.get("checksum"):
@@ -283,10 +293,23 @@ def load_checkpoint(path, match_dtype: bool = False) -> BaseDetector:
     from ..core.model import UMGAD
     from ..core.config import UMGADConfig
 
+    if "_scores" not in arrays:
+        # Every checkpoint stores the fitted scores (save_checkpoint
+        # refuses unfitted detectors), so a missing entry means an
+        # incomplete file — for baselines just as much as for UMGAD.
+        raise CheckpointError(
+            f"{path}: checkpoint has no stored scores entry "
+            "(array::_scores); the file is incomplete")
+
     if cls_name == "UMGAD":
-        detector: BaseDetector = UMGAD(UMGADConfig.from_dict(header["config"]))
-        detector.build_networks(header["relation_names"],
-                                header["num_features"])
+        try:
+            detector: BaseDetector = UMGAD(
+                UMGADConfig.from_dict(header["config"]))
+            detector.build_networks(header["relation_names"],
+                                    header["num_features"])
+        except KeyError as exc:
+            raise CheckpointError(
+                f"{path}: header is missing required field {exc}") from None
         detector.load_state_dict(params)
         detector._scores = arrays["_scores"]
     else:

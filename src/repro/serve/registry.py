@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import pathlib
 import re
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -40,11 +41,18 @@ class ModelInfo:
 
 
 class ModelRegistry:
-    """Named checkpoints under one root directory."""
+    """Named checkpoints under one root directory.
+
+    Mutating operations (:meth:`save`, :meth:`delete`) are serialized by a
+    per-instance lock so the exists/overwrite check and the write are
+    atomic with respect to other threads of the same process — the HTTP
+    gateway shares one registry across its request handler threads.
+    """
 
     def __init__(self, root):
         self.root = pathlib.Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def path(self, name: str) -> pathlib.Path:
@@ -70,11 +78,12 @@ class ModelRegistry:
              overwrite: bool = False) -> pathlib.Path:
         """Checkpoint ``detector`` under ``name``."""
         path = self.path(name)
-        if path.exists() and not overwrite:
-            raise FileExistsError(
-                f"model {name!r} already registered at {path}; pass "
-                "overwrite=True to replace it")
-        return save_checkpoint(path, detector, graph=graph)
+        with self._lock:
+            if path.exists() and not overwrite:
+                raise FileExistsError(
+                    f"model {name!r} already registered at {path}; pass "
+                    "overwrite=True to replace it")
+            return save_checkpoint(path, detector, graph=graph)
 
     def load(self, name: str, match_dtype: bool = False) -> BaseDetector:
         path = self.path(name)
@@ -102,9 +111,10 @@ class ModelRegistry:
 
     def delete(self, name: str) -> None:
         path = self.path(name)
-        if not path.exists():
-            raise KeyError(f"no model named {name!r} in {self.root}")
-        path.unlink()
+        with self._lock:
+            if not path.exists():
+                raise KeyError(f"no model named {name!r} in {self.root}")
+            path.unlink()
 
     # ------------------------------------------------------------------
     def describe(self, name: str) -> ModelInfo:

@@ -7,10 +7,20 @@ without ever refitting. Results are cached per graph *content* (the sha256
 fingerprint from :func:`repro.graphs.io.graph_fingerprint`), so asking
 about the same graph twice costs one dict lookup, regardless of object
 identity.
+
+The service is **thread-safe** (it sits under the threaded HTTP gateway in
+:mod:`repro.server`): cache bookkeeping is guarded by an :class:`~threading.RLock`,
+and concurrent misses on the same fingerprint are **dog-pile protected** —
+one thread computes, the rest wait on the in-flight result instead of
+launching redundant scoring passes. A :meth:`DetectorService.replace_detector`
+hot-swap bumps an internal generation counter so scoring passes that were
+already running against the old detector cannot poison the new detector's
+cache.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
@@ -82,6 +92,15 @@ class _CacheEntry:
         return self.order
 
 
+@dataclass
+class _InFlight:
+    """One in-progress scoring pass other threads can wait on."""
+
+    done: threading.Event = field(default_factory=threading.Event)
+    entry: Optional[_CacheEntry] = None
+    error: Optional[BaseException] = None
+
+
 class DetectorService:
     """Load once, score many times.
 
@@ -121,6 +140,11 @@ class DetectorService:
         self.cache_size = cache_size
         self.stats = ServiceStats()
         self._cache: "OrderedDict[str, _CacheEntry]" = OrderedDict()
+        # Reentrant: threshold/explain helpers take it while _entry holds it.
+        self._lock = threading.RLock()
+        self._inflight: dict = {}
+        # Bumped by replace_detector so stale scoring passes never cache.
+        self._generation = 0
 
     @staticmethod
     def _infer_trained_fingerprint(detector: BaseDetector) -> Optional[str]:
@@ -167,13 +191,16 @@ class DetectorService:
                 f"replace_detector needs a fitted BaseDetector, got "
                 f"{type(detector).__name__}")
         epochs, seconds = self._training_telemetry(detector, train_state)
-        self.detector = detector
-        self.checkpoint_path = None
-        self.trained_fingerprint = self._infer_trained_fingerprint(detector)
-        self._cache.clear()
-        self.stats.refits += 1
-        self.stats.refit_epochs += epochs
-        self.stats.refit_seconds += seconds
+        fingerprint = self._infer_trained_fingerprint(detector)
+        with self._lock:
+            self._generation += 1
+            self.detector = detector
+            self.checkpoint_path = None
+            self.trained_fingerprint = fingerprint
+            self._cache.clear()
+            self.stats.refits += 1
+            self.stats.refit_epochs += epochs
+            self.stats.refit_seconds += seconds
         return epochs, seconds
 
     # ------------------------------------------------------------------
@@ -206,25 +233,67 @@ class DetectorService:
                fingerprint: Optional[str] = None) -> _CacheEntry:
         if fingerprint is None:
             fingerprint = graph_fingerprint(graph)
-        entry = self._cache.get(fingerprint)
-        if entry is not None:
+        leader = False
+        with self._lock:
+            entry = self._cache.get(fingerprint)
+            if entry is not None:
+                self.stats.hits += 1
+                self._cache.move_to_end(fingerprint)
+                return entry
+            waiter = self._inflight.get(fingerprint)
+            if waiter is None:
+                # This thread becomes the leader and computes.
+                leader = True
+                waiter = _InFlight()
+                self._inflight[fingerprint] = waiter
+                generation = self._generation
+        if leader:
+            return self._compute_entry(graph, fingerprint, waiter, generation)
+        # Follower: another thread is already scoring this fingerprint;
+        # wait for its result instead of duplicating the pass (dog-pile
+        # protection for the threaded server's worst case — a thundering
+        # herd of identical cold requests).
+        waiter.done.wait()
+        if waiter.error is not None:
+            raise waiter.error
+        with self._lock:
             self.stats.hits += 1
-            self._cache.move_to_end(fingerprint)
-            return entry
-        self.stats.misses += 1
+        return waiter.entry
+
+    def _compute_entry(self, graph: MultiplexGraph, fingerprint: str,
+                       waiter: _InFlight, generation: int) -> _CacheEntry:
+        """Leader path: run the scoring pass, publish, wake followers."""
+        try:
+            scores = self._compute_scores(graph, fingerprint)
+        except BaseException as exc:
+            with self._lock:
+                waiter.error = exc
+                self._inflight.pop(fingerprint, None)
+            waiter.done.set()
+            raise
         entry = _CacheEntry(graph=graph, fingerprint=fingerprint,
-                            scores=self._compute_scores(graph, fingerprint))
-        self._cache[fingerprint] = entry
-        while len(self._cache) > self.cache_size:
-            self._cache.popitem(last=False)
-            self.stats.evictions += 1
+                            scores=scores)
+        with self._lock:
+            self.stats.misses += 1
+            if self._generation == generation:
+                # Skip caching when the detector was hot-swapped mid-pass:
+                # these scores belong to the replaced detector.
+                self._cache[fingerprint] = entry
+                while len(self._cache) > self.cache_size:
+                    self._cache.popitem(last=False)
+                    self.stats.evictions += 1
+            waiter.entry = entry
+            self._inflight.pop(fingerprint, None)
+        waiter.done.set()
         return entry
 
     def clear_cache(self) -> None:
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()
 
     def __len__(self) -> int:
-        return len(self._cache)
+        with self._lock:
+            return len(self._cache)
 
     # ------------------------------------------------------------------
     # Queries
@@ -240,6 +309,55 @@ class DetectorService:
         """
         return self._entry(graph, fingerprint).scores
 
+    def cached_scores(self, fingerprint: str) -> Optional[np.ndarray]:
+        """Scores for a fingerprint *without* the graph, or ``None``.
+
+        Answers from the LRU cache, or from the detector's stored fitted
+        scores when ``fingerprint`` is the trained graph's. The HTTP
+        gateway (:mod:`repro.server`) uses this for fingerprint-only
+        ``/v1/score`` requests, which carry no edge/attribute payload and
+        therefore can only be served from warm state.
+        """
+        with self._lock:
+            entry = self._cache.get(fingerprint)
+            if entry is not None:
+                self.stats.hits += 1
+                self._cache.move_to_end(fingerprint)
+                return entry.scores
+            if fingerprint == self.trained_fingerprint and \
+                    self.detector._scores is not None:
+                self.stats.hits += 1
+                return self.detector.decision_scores()
+        return None
+
+    def is_warm(self, fingerprint: str) -> bool:
+        """True when this fingerprint needs no new scoring pass: its
+        scores are cached, already being computed by another thread, or
+        stored from the fit. The micro-batcher uses this to skip the
+        batching linger — lingering only buys anything when the batch
+        would otherwise pay a fresh pass."""
+        with self._lock:
+            if fingerprint in self._cache or fingerprint in self._inflight:
+                return True
+            return fingerprint == self.trained_fingerprint and \
+                self.detector._scores is not None
+
+    def cached_threshold(self, fingerprint: str):
+        """Threshold result for a cached fingerprint, or ``None`` on miss."""
+        detector = None
+        with self._lock:
+            entry = self._cache.get(fingerprint)
+            if entry is None and fingerprint == self.trained_fingerprint \
+                    and self.detector._scores is not None:
+                detector = self.detector
+        # Selection is O(n log n) over the scores — run it after releasing
+        # the (reentrant) lock so cache hits elsewhere are not blocked.
+        if entry is not None:
+            return self._entry_threshold(entry)
+        if detector is not None:
+            return detector.threshold()
+        return None
+
     def score_node(self, graph: MultiplexGraph, node: int) -> float:
         """One node's anomaly score."""
         scores = self.scores(graph)
@@ -252,19 +370,30 @@ class DetectorService:
               k: int = 10) -> List[Tuple[int, float]]:
         """The ``k`` highest-scoring nodes as (node, score) pairs."""
         entry = self._entry(graph)
-        order = entry.ranking()[:max(int(k), 0)]
+        with self._lock:
+            order = entry.ranking()[:max(int(k), 0)]
         return [(int(i), float(entry.scores[i])) for i in order]
 
     def _entry_threshold(self, entry: _CacheEntry):
         from ..core.threshold import select_threshold
 
-        if entry.threshold is None:
-            if entry.fingerprint == self.trained_fingerprint:
-                # reuse the fitted (possibly checkpoint-restored) result
-                entry.threshold = self.detector.threshold()
-            else:
-                entry.threshold = select_threshold(entry.scores)
-        return entry.threshold
+        with self._lock:
+            if entry.threshold is not None:
+                return entry.threshold
+            trained = entry.fingerprint == self.trained_fingerprint
+            detector = self.detector
+        # Select outside the lock (it is O(n log n) over the scores) and
+        # publish under it; concurrent selectors race benignly — first
+        # result wins, same inputs either way.
+        if trained:
+            # reuse the fitted (possibly checkpoint-restored) result
+            result = detector.threshold()
+        else:
+            result = select_threshold(entry.scores)
+        with self._lock:
+            if entry.threshold is None:
+                entry.threshold = result
+            return entry.threshold
 
     def threshold(self, graph: MultiplexGraph):
         """The label-free inflection-point threshold for ``graph``'s scores."""
@@ -286,7 +415,16 @@ class DetectorService:
                 f"explanations need a UMGAD checkpoint, got "
                 f"{type(self.detector).__name__}")
         entry = self._entry(graph)
-        if entry.explainer is None:
-            entry.explainer = AnomalyExplainer(self.detector, graph,
-                                               scores=entry.scores)
-        return entry.explainer.explain(node, top_features=top_features)
+        with self._lock:
+            explainer = entry.explainer
+            detector = self.detector
+        if explainer is None:
+            # Built outside the lock (full forward passes); first one in
+            # publishes, racers discard their copy.
+            explainer = AnomalyExplainer(detector, graph,
+                                         scores=entry.scores)
+            with self._lock:
+                if entry.explainer is None:
+                    entry.explainer = explainer
+                explainer = entry.explainer
+        return explainer.explain(node, top_features=top_features)

@@ -1,0 +1,51 @@
+"""HTTP serving gateway: the network surface over every fast path.
+
+After PRs 1–4 the repo could score graphs from checkpoints
+(:mod:`repro.serve`), keep them current under event streams
+(:mod:`repro.stream`) and run inference grad-free — but only in-process.
+:mod:`repro.server` exposes all of it as a threaded, stdlib-only HTTP
+JSON API:
+
+* :mod:`repro.server.batcher` — :class:`MicroBatcher`, the concurrency
+  engine: same-fingerprint score requests coalesce inside a bounded
+  linger window into **one** scoring pass on a worker pool, behind a
+  bounded admission queue (429/503 under overload);
+* :mod:`repro.server.gateway` — :class:`Gateway`, the HTTP-agnostic
+  request logic (score / events / models / health / metrics);
+* :mod:`repro.server.app` — the :mod:`http.server`-based threaded HTTP
+  layer (:class:`ReproServer`, :class:`ServerThread`, :func:`make_server`);
+* :mod:`repro.server.client` — :class:`ServerClient`, a pure-python
+  stdlib client;
+* :mod:`repro.server.protocol` — the JSON wire format (full-precision
+  score serialisation: HTTP-served scores are bitwise-identical to
+  in-process ``score_graph`` output);
+* :mod:`repro.server.metrics` — Prometheus text exposition.
+
+Start one from the CLI with ``python -m repro.cli serve --model model.npz``.
+"""
+
+from .app import ReproServer, ServerThread, make_server
+from .batcher import AdmissionError, BatcherStats, MicroBatcher
+from .client import ServerClient, ServerClientError
+from .gateway import API_VERSION, Gateway, GatewayError, SERVER_NAME
+from .metrics import MetricsRegistry
+from .protocol import ProtocolError, graph_from_payload, graph_payload
+
+__all__ = [
+    "API_VERSION",
+    "AdmissionError",
+    "BatcherStats",
+    "Gateway",
+    "GatewayError",
+    "MetricsRegistry",
+    "MicroBatcher",
+    "ProtocolError",
+    "ReproServer",
+    "SERVER_NAME",
+    "ServerClient",
+    "ServerClientError",
+    "ServerThread",
+    "graph_from_payload",
+    "graph_payload",
+    "make_server",
+]

@@ -1,0 +1,247 @@
+"""Request micro-batching with admission control over a DetectorService.
+
+The serving gateway's core concurrency engine. Concurrent ``score``
+requests are grouped **by graph fingerprint**: the first request for a
+fingerprint opens a batch group and enqueues it for a worker; requests
+arriving inside the group's bounded *linger window* join the open group
+instead of queueing their own scoring pass. A worker then runs **one**
+:meth:`~repro.serve.service.DetectorService.scores` call per group and
+fans the resulting array out to every waiting future — N identical
+concurrent requests cost one scoring pass instead of N.
+
+Two protections keep the pool healthy under load:
+
+* **admission control** — the total number of admitted-but-unresolved
+  requests is bounded by ``max_queue``; beyond it, :meth:`MicroBatcher.submit`
+  raises :class:`AdmissionError` with HTTP status 429 (and 503 once the
+  batcher is draining for shutdown). Rejecting at admission is what keeps
+  latency bounded: a request that cannot be served soon is refused
+  immediately rather than parked on an unbounded queue.
+* **dog-pile dedup below** — :class:`~repro.serve.service.DetectorService`
+  additionally deduplicates in-flight passes per fingerprint, so even
+  groups that split across workers (e.g. a burst longer than one linger
+  window) collapse to a single computation.
+
+Everything is stdlib: ``threading`` + ``queue`` + ``concurrent.futures.Future``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..graphs.io import graph_fingerprint
+from ..graphs.multiplex import MultiplexGraph
+from ..serve.service import DetectorService
+
+
+class AdmissionError(RuntimeError):
+    """A request refused at admission (queue full or server draining).
+
+    ``status`` is the HTTP status the gateway maps this to: 429 when the
+    admission queue is full (back off and retry), 503 when the batcher is
+    shutting down (the server is going away).
+    """
+
+    def __init__(self, message: str, status: int = 429):
+        super().__init__(message)
+        self.status = int(status)
+
+
+@dataclass
+class BatcherStats:
+    """Counters for one :class:`MicroBatcher` (exported via /metrics)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    #: scoring passes actually run (== groups processed)
+    batches: int = 0
+    #: requests that joined an already-open group (saved scoring passes)
+    coalesced: int = 0
+    largest_batch: int = 0
+
+    def to_dict(self) -> dict:
+        return dict(vars(self))
+
+
+class _Group:
+    """One open batch: every future here is answered by one scoring pass."""
+
+    __slots__ = ("fingerprint", "graph", "futures", "deadline")
+
+    def __init__(self, fingerprint: str, graph: MultiplexGraph,
+                 future: Future, deadline: float):
+        self.fingerprint = fingerprint
+        self.graph = graph
+        self.futures: List[Future] = [future]
+        self.deadline = deadline
+
+
+class MicroBatcher:
+    """Coalesce concurrent same-fingerprint score requests into one pass.
+
+    Parameters
+    ----------
+    service:
+        The (thread-safe) :class:`DetectorService` that answers batches.
+    workers:
+        CPU worker threads draining the group queue.
+    max_queue:
+        Admission bound: maximum admitted-but-unresolved requests across
+        all groups. Submissions beyond it raise :class:`AdmissionError`
+        (HTTP 429).
+    linger_ms:
+        How long a group stays open for joiners after its first request
+        (the classic micro-batching latency/throughput trade: a few
+        milliseconds of added latency buys request coalescing).
+    max_batch:
+        Maximum requests per group; the next request for the same
+        fingerprint opens a fresh group.
+    """
+
+    def __init__(self, service: DetectorService, *, workers: int = 2,
+                 max_queue: int = 64, linger_ms: float = 2.0,
+                 max_batch: int = 64):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if linger_ms < 0:
+            raise ValueError(f"linger_ms must be >= 0, got {linger_ms}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.service = service
+        self.max_queue = int(max_queue)
+        self.max_batch = int(max_batch)
+        self._linger = float(linger_ms) / 1000.0
+        self.stats = BatcherStats()
+        self._lock = threading.Lock()
+        self._groups: Dict[str, _Group] = {}
+        self._pending = 0
+        self._closed = False
+        self._queue: "queue.SimpleQueue[Optional[_Group]]" = queue.SimpleQueue()
+        self._threads = [
+            threading.Thread(target=self._run, daemon=True,
+                             name=f"repro-batcher-{i}")
+            for i in range(int(workers))
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Admitted requests not yet resolved (the admission meter)."""
+        with self._lock:
+            return self._pending
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    # ------------------------------------------------------------------
+    def submit(self, graph: MultiplexGraph,
+               fingerprint: Optional[str] = None) -> Future:
+        """Admit one score request; resolves to the per-node score array.
+
+        Raises :class:`AdmissionError` instead of queueing when the
+        admission bound is hit (429) or the batcher is draining (503).
+        """
+        if fingerprint is None:
+            fingerprint = graph_fingerprint(graph)
+        future: Future = Future()
+        enqueue = None
+        with self._lock:
+            if self._closed:
+                self.stats.rejected += 1
+                raise AdmissionError(
+                    "server is shutting down; request not admitted",
+                    status=503)
+            if self._pending >= self.max_queue:
+                self.stats.rejected += 1
+                raise AdmissionError(
+                    f"admission queue full ({self._pending} pending, "
+                    f"bound {self.max_queue}); retry later", status=429)
+            self._pending += 1
+            self.stats.submitted += 1
+            group = self._groups.get(fingerprint)
+            if group is not None and len(group.futures) < self.max_batch:
+                group.futures.append(future)
+                self.stats.coalesced += 1
+            else:
+                enqueue = _Group(fingerprint, graph, future,
+                                 time.monotonic() + self._linger)
+                self._groups[fingerprint] = enqueue
+        if enqueue is not None:
+            self._queue.put(enqueue)
+        return future
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            group = self._queue.get()
+            if group is None:
+                return
+            # Hold the group open until its linger deadline so concurrent
+            # requests can still join; joiners append under the lock. When
+            # the service is already warm for this fingerprint (cached, in
+            # flight, or the trained graph) there is no pass to amortise —
+            # answer immediately instead of taxing the request with linger.
+            delay = group.deadline - time.monotonic()
+            if delay > 0 and not self.service.is_warm(group.fingerprint):
+                time.sleep(delay)
+            with self._lock:
+                if self._groups.get(group.fingerprint) is group:
+                    del self._groups[group.fingerprint]
+                futures = list(group.futures)
+            try:
+                scores = self.service.scores(group.graph, group.fingerprint)
+            except BaseException as exc:
+                with self._lock:
+                    self.stats.failed += len(futures)
+                    self._pending -= len(futures)
+                for future in futures:
+                    future.set_exception(exc)
+            else:
+                with self._lock:
+                    self.stats.batches += 1
+                    self.stats.completed += len(futures)
+                    self.stats.largest_batch = max(self.stats.largest_batch,
+                                                   len(futures))
+                    self._pending -= len(futures)
+                for future in futures:
+                    future.set_result(scores)
+
+    # ------------------------------------------------------------------
+    def close(self, wait: bool = True) -> None:
+        """Stop admitting, drain queued groups, stop the workers.
+
+        Already-admitted requests are still answered (the shutdown
+        sentinels sit behind every queued group in FIFO order); new
+        submissions fail with a 503 :class:`AdmissionError`.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._threads:
+            self._queue.put(None)
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=30.0)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+__all__ = ["AdmissionError", "BatcherStats", "MicroBatcher"]

@@ -1,0 +1,153 @@
+"""Pure-python client for the repro serving gateway (stdlib only).
+
+One :class:`ServerClient` wraps one keep-alive :class:`http.client.HTTPConnection`.
+Connections are **not** thread-safe — a load generator should create one
+client per worker thread (see ``benchmarks/test_server_perf.py``).
+
+Scores come back exactly as the server computed them: JSON floats
+round-trip float64 bit patterns, so ``np.asarray(response["scores"])`` is
+bitwise-identical to the server-side array.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Iterable, List, Optional, Union
+
+from .gateway import SERVER_NAME
+
+
+class ServerClientError(RuntimeError):
+    """A non-2xx response from the serving gateway."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = int(status)
+        self.message = message
+
+
+class ServerClient:
+    """Minimal JSON client for every gateway endpoint."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8765,
+                 timeout: float = 60.0):
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------------
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+        return self._connection
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[dict] = None):
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        connection = self._connect()
+        try:
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            status = response.status
+            content_type = response.headers.get("Content-Type", "")
+            raw = response.read()
+        except (http.client.HTTPException, OSError):
+            # A dead keep-alive connection is not retryable mid-request;
+            # drop it so the next call reconnects, and surface the error.
+            self.close()
+            raise
+        if "application/json" in content_type:
+            data = json.loads(raw)
+        else:
+            data = raw.decode("utf-8")
+        if status >= 400:
+            message = data.get("error", str(data)) \
+                if isinstance(data, dict) else str(data)
+            raise ServerClientError(status, message)
+        return data
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def score(self, graph: Optional[dict] = None, *,
+              fingerprint: Optional[str] = None,
+              nodes: Optional[List[int]] = None,
+              top_k: Optional[int] = None,
+              threshold: bool = False) -> dict:
+        """POST /v1/score.
+
+        ``graph`` is the inline payload form (see
+        :func:`repro.server.protocol.graph_payload`, or pass a
+        :class:`~repro.graphs.multiplex.MultiplexGraph` and it is
+        serialised for you); ``fingerprint`` alone performs a warm-cache
+        lookup.
+        """
+        if graph is None and fingerprint is None:
+            raise ValueError("score() needs a graph payload or a fingerprint")
+        payload: dict = {}
+        if graph is not None:
+            if not isinstance(graph, dict):
+                from .protocol import graph_payload
+
+                graph = graph_payload(graph)
+            payload["graph"] = graph
+        if fingerprint is not None:
+            payload["fingerprint"] = fingerprint
+        if nodes is not None:
+            payload["nodes"] = [int(node) for node in nodes]
+        if top_k is not None:
+            payload["top_k"] = int(top_k)
+        if threshold:
+            payload["threshold"] = True
+        return self._request("POST", "/v1/score", payload)
+
+    def events(self, events: Iterable[Union[dict, object]],
+               flush: bool = False) -> dict:
+        """POST /v1/events — accepts event objects or their dict forms."""
+        serialised = [event if isinstance(event, dict) else event.to_dict()
+                      for event in events]
+        payload: dict = {"events": serialised}
+        if flush:
+            payload["flush"] = True
+        return self._request("POST", "/v1/events", payload)
+
+    def models(self) -> dict:
+        """GET /v1/models."""
+        return self._request("GET", "/v1/models")
+
+    def activate(self, name: str) -> dict:
+        """POST /v1/models/{name}/activate."""
+        return self._request("POST", f"/v1/models/{name}/activate", {})
+
+    def health(self) -> dict:
+        """GET /healthz."""
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        """GET /metrics (raw Prometheus text)."""
+        return self._request("GET", "/metrics")
+
+    def __repr__(self) -> str:
+        return (f"ServerClient({SERVER_NAME} at "
+                f"http://{self.host}:{self.port})")
+
+
+__all__ = ["ServerClient", "ServerClientError"]

@@ -1,0 +1,380 @@
+"""The serving gateway: request handling logic behind the HTTP layer.
+
+:class:`Gateway` wires every fast path grown in PRs 1–4 into one
+queryable object — checkpointed :class:`~repro.serve.service.DetectorService`
+scoring behind a :class:`~repro.server.batcher.MicroBatcher`, stream
+ingestion through :class:`~repro.stream.IncrementalGraphBuilder` +
+:class:`~repro.stream.StreamMonitor`, and a
+:class:`~repro.serve.registry.ModelRegistry` for listing and hot-swapping
+named checkpoints. It speaks plain dicts, not HTTP: the
+:mod:`repro.server.app` handler translates payloads and maps
+:class:`GatewayError` / :class:`~repro.server.batcher.AdmissionError` to
+status codes, which keeps all of this directly unit-testable without a
+socket.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Dict, List, Optional
+
+from ..graphs.io import graph_fingerprint
+from ..graphs.multiplex import MultiplexGraph
+from ..serve.registry import ModelRegistry
+from ..serve.service import DetectorService, ServiceError
+from ..stream.builder import IncrementalGraphBuilder
+from ..stream.events import parse_event
+from ..stream.monitor import StreamMonitor
+from .batcher import MicroBatcher
+from .metrics import MetricsRegistry
+from .protocol import (
+    ProtocolError,
+    graph_from_payload,
+    parse_nodes,
+    score_response,
+)
+
+SERVER_NAME = "repro-server"
+API_VERSION = "v1"
+
+
+class GatewayError(RuntimeError):
+    """A request the gateway refuses, with the HTTP status to send."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = int(status)
+
+
+class Gateway:
+    """Everything the HTTP endpoints do, minus the HTTP.
+
+    Parameters
+    ----------
+    service:
+        The detector service answering score requests (thread-safe).
+    registry:
+        Optional :class:`ModelRegistry` backing the ``/v1/models``
+        endpoints; without one those endpoints return 409.
+    active_model:
+        Name to report for the currently served checkpoint (when it came
+        from the registry).
+    base_graph:
+        Optional initial snapshot seeding the event-stream builder; when
+        omitted, the builder bootstraps an empty graph from the served
+        detector's relation schema on the first ``/v1/events`` request.
+    workers / max_queue / linger_ms / max_batch:
+        Forwarded to the :class:`MicroBatcher`.
+    request_timeout:
+        Seconds a score request may wait on its batch before the gateway
+        gives up with a 503.
+    window / stride / top_k / psi_threshold / jump_sigma:
+        Forwarded to the :class:`StreamMonitor` (first events request).
+    """
+
+    def __init__(self, service: DetectorService, *,
+                 registry: Optional[ModelRegistry] = None,
+                 active_model: Optional[str] = None,
+                 base_graph: Optional[MultiplexGraph] = None,
+                 workers: int = 2, max_queue: int = 64,
+                 linger_ms: float = 2.0, max_batch: int = 64,
+                 request_timeout: float = 60.0,
+                 window: int = 500, stride: Optional[int] = None,
+                 top_k: int = 10, psi_threshold: float = 0.25,
+                 jump_sigma: float = 6.0):
+        self.service = service
+        self.registry = registry
+        self.active_model = active_model
+        self.batcher = MicroBatcher(service, workers=workers,
+                                    max_queue=max_queue, linger_ms=linger_ms,
+                                    max_batch=max_batch)
+        self.request_timeout = float(request_timeout)
+        self._monitor_kwargs = dict(window=window, stride=stride, top_k=top_k,
+                                    psi_threshold=psi_threshold,
+                                    jump_sigma=jump_sigma)
+        self._base_graph = base_graph
+        self.monitor: Optional[StreamMonitor] = None
+        self._monitor_lock = threading.Lock()
+        self._counter_lock = threading.Lock()
+        self._requests: Dict[tuple, int] = {}
+        self._started = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def record(self, endpoint: str, status: int) -> None:
+        """Count one answered request (called by the HTTP handler)."""
+        with self._counter_lock:
+            key = (endpoint, int(status))
+            self._requests[key] = self._requests.get(key, 0) + 1
+
+    @property
+    def uptime_seconds(self) -> float:
+        return time.monotonic() - self._started
+
+    # ------------------------------------------------------------------
+    # POST /v1/score
+    # ------------------------------------------------------------------
+    def score(self, payload: dict) -> dict:
+        if not isinstance(payload, dict):
+            raise GatewayError("request body must be a JSON object", 400)
+        top_k = payload.get("top_k")
+        if top_k is not None and (not isinstance(top_k, int)
+                                  or isinstance(top_k, bool) or top_k < 1):
+            raise GatewayError("'top_k' must be a positive integer", 400)
+        want_threshold = bool(payload.get("threshold", False))
+
+        if "graph" in payload:
+            try:
+                graph = graph_from_payload(payload["graph"])
+            except ProtocolError as exc:
+                raise GatewayError(str(exc), 400) from None
+            fingerprint = graph_fingerprint(graph)
+            nodes = self._parse_nodes(payload, graph.num_nodes)
+            # AdmissionError (429/503) propagates to the HTTP layer as-is.
+            future = self.batcher.submit(graph, fingerprint)
+            try:
+                scores = future.result(timeout=self.request_timeout)
+            except FutureTimeoutError:
+                raise GatewayError(
+                    f"scoring did not finish within "
+                    f"{self.request_timeout:.0f}s", 503) from None
+            except (ServiceError, ValueError) as exc:
+                # ServiceError: the detector keeps no reusable networks;
+                # ValueError: the graph doesn't match the model's schema
+                # (feature/relation count). Both are "this model cannot
+                # answer this request", not server bugs.
+                raise GatewayError(str(exc), 409) from None
+            threshold = self._threshold_for(fingerprint, scores) \
+                if want_threshold else None
+        elif "fingerprint" in payload:
+            fingerprint = str(payload["fingerprint"])
+            scores = self.service.cached_scores(fingerprint)
+            if scores is None:
+                raise GatewayError(
+                    f"fingerprint {fingerprint[:12]}… is not cached; "
+                    "include the inline 'graph' payload instead", 404)
+            nodes = self._parse_nodes(payload, scores.size)
+            threshold = self._threshold_for(fingerprint, scores) \
+                if want_threshold else None
+        else:
+            raise GatewayError(
+                "score request needs 'graph' (inline edge lists + "
+                "attributes) or 'fingerprint' (warm-cache lookup)", 400)
+
+        return score_response(fingerprint, scores, nodes=nodes,
+                              top_k=top_k, threshold=threshold)
+
+    def _threshold_for(self, fingerprint: str, scores):
+        """Threshold consistent with the exact ``scores`` being returned.
+
+        Prefer the service's cached/fitted result; when the entry was
+        already evicted (or skipped caching because a hot-swap raced the
+        pass), select directly on the array in hand — never by re-scoring,
+        which would bypass the batcher/admission queue and could pair a
+        new detector's threshold with old-detector scores.
+        """
+        threshold = self.service.cached_threshold(fingerprint)
+        if threshold is not None:
+            return threshold
+        from ..core.threshold import select_threshold
+
+        try:
+            return select_threshold(scores)
+        except ValueError as exc:   # e.g. too few scores to select on
+            raise GatewayError(f"cannot select a threshold: {exc}",
+                               409) from None
+
+    @staticmethod
+    def _parse_nodes(payload: dict, num_nodes: int):
+        try:
+            return parse_nodes(payload.get("nodes"), num_nodes)
+        except ProtocolError as exc:
+            raise GatewayError(str(exc), 400) from None
+
+    # ------------------------------------------------------------------
+    # POST /v1/events
+    # ------------------------------------------------------------------
+    def ingest_events(self, payload: dict) -> dict:
+        if not isinstance(payload, dict):
+            raise GatewayError("request body must be a JSON object", 400)
+        raw = payload.get("events")
+        if not isinstance(raw, list) or not raw:
+            raise GatewayError(
+                "'events' must be a non-empty list of event objects "
+                "(see repro.stream.events)", 400)
+        try:
+            events = [parse_event(item) for item in raw]
+        except (ValueError, TypeError) as exc:
+            raise GatewayError(f"bad event: {exc}", 400) from None
+
+        with self._monitor_lock:
+            monitor = self._ensure_monitor()
+            try:
+                reports = monitor.process(events)
+                if payload.get("flush"):
+                    tail = monitor.flush()
+                    if tail is not None:
+                        reports.append(tail)
+            except (ValueError, ServiceError) as exc:
+                raise GatewayError(f"event stream rejected: {exc}",
+                                   409) from None
+            return {
+                "accepted": len(events),
+                "reports": [report.to_dict() for report in reports],
+                "alerts": sum(len(report.alerts) for report in reports),
+                "monitor": monitor.stats_dict(),
+            }
+
+    def _ensure_monitor(self) -> StreamMonitor:
+        """Build the stream monitor lazily on the first events request."""
+        if self.monitor is not None:
+            return self.monitor
+        if self._base_graph is not None:
+            builder = IncrementalGraphBuilder.from_graph(self._base_graph)
+        else:
+            detector = self.service.detector
+            names = getattr(detector, "_relation_names", None)
+            num_features = getattr(detector, "_num_features", None)
+            if not names or not num_features:
+                raise GatewayError(
+                    "served checkpoint records no relation schema; start "
+                    "the server with an initial --graph snapshot to accept "
+                    "events", 409)
+            builder = IncrementalGraphBuilder(relation_names=names,
+                                              num_features=num_features)
+        self.monitor = StreamMonitor(self.service, builder,
+                                     **self._monitor_kwargs)
+        return self.monitor
+
+    # ------------------------------------------------------------------
+    # GET /v1/models + POST /v1/models/{name}/activate
+    # ------------------------------------------------------------------
+    def _require_registry(self) -> ModelRegistry:
+        if self.registry is None:
+            raise GatewayError(
+                "no model registry configured; start the server with "
+                "--registry to manage named checkpoints", 409)
+        return self.registry
+
+    def list_models(self) -> dict:
+        registry = self._require_registry()
+        models: List[dict] = []
+        for info in registry.list_models():
+            models.append({
+                "name": info.name,
+                "detector": info.detector,
+                "format_version": info.format_version,
+                "num_nodes": info.num_nodes,
+                "size_bytes": info.size_bytes,
+                "active": info.name == self.active_model,
+            })
+        return {"models": models, "active": self.active_model}
+
+    def activate(self, name: str) -> dict:
+        registry = self._require_registry()
+        try:
+            # The process precision was resolved at server start; adopting
+            # a checkpoint's dtype mid-flight would silently re-type every
+            # later request's graph, so hot-swaps keep the current dtype.
+            detector = registry.load(name, match_dtype=False)
+        except KeyError as exc:
+            raise GatewayError(str(exc.args[0]), 404) from None
+        epochs, seconds = self.service.replace_detector(detector)
+        self.active_model = name
+        return {
+            "activated": name,
+            "detector": type(detector).__name__,
+            "refit_epochs": epochs,
+            "refit_seconds": seconds,
+        }
+
+    # ------------------------------------------------------------------
+    # GET /healthz + GET /metrics
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "server": SERVER_NAME,
+            "api": API_VERSION,
+            "detector": type(self.service.detector).__name__,
+            "active_model": self.active_model,
+            "uptime_seconds": self.uptime_seconds,
+            "queue_depth": self.batcher.queue_depth,
+        }
+
+    def metrics_text(self) -> str:
+        registry = MetricsRegistry(prefix="repro")
+        registry.gauge("server_uptime_seconds",
+                       "Seconds since the gateway started.",
+                       self.uptime_seconds)
+        with self._counter_lock:
+            samples = [({"endpoint": endpoint, "status": str(status)}, count)
+                       for (endpoint, status), count
+                       in sorted(self._requests.items())]
+        if samples:
+            registry.add("server_requests_total", "counter",
+                         "HTTP requests answered, by endpoint and status.",
+                         samples)
+        registry.gauge("server_queue_depth",
+                       "Admitted score requests not yet resolved.",
+                       self.batcher.queue_depth)
+        batcher = self.batcher.stats
+        registry.counter("batcher_submitted_total",
+                         "Score requests admitted.", batcher.submitted)
+        registry.counter("batcher_completed_total",
+                         "Score requests answered.", batcher.completed)
+        registry.counter("batcher_failed_total",
+                         "Score requests failed in scoring.", batcher.failed)
+        registry.counter("batcher_rejected_total",
+                         "Score requests refused at admission.",
+                         batcher.rejected)
+        registry.counter("batcher_batches_total",
+                         "Scoring passes run (batched groups).",
+                         batcher.batches)
+        registry.counter("batcher_coalesced_total",
+                         "Requests that joined an open batch.",
+                         batcher.coalesced)
+        registry.gauge("batcher_largest_batch",
+                       "Largest batch answered by one scoring pass.",
+                       batcher.largest_batch)
+        stats = self.service.stats
+        registry.counter("service_cache_hits_total",
+                         "DetectorService cache hits.", stats.hits)
+        registry.counter("service_cache_misses_total",
+                         "DetectorService cache misses (scoring passes).",
+                         stats.misses)
+        registry.counter("service_cache_evictions_total",
+                         "DetectorService LRU evictions.", stats.evictions)
+        registry.counter("service_refits_total",
+                         "Detector hot-swaps (activations + refits).",
+                         stats.refits)
+        registry.counter("service_refit_epochs_total",
+                         "Training epochs spent across refits.",
+                         stats.refit_epochs)
+        registry.counter("service_refit_seconds_total",
+                         "Training seconds spent across refits.",
+                         stats.refit_seconds)
+        monitor = self.monitor
+        if monitor is not None:
+            registry.counter("monitor_events_total",
+                             "Stream events consumed.",
+                             monitor.events_consumed)
+            registry.counter("monitor_windows_total",
+                             "Stream windows scored.",
+                             monitor.windows_scored)
+            registry.counter("monitor_alerts_total",
+                             "Stream alerts raised.", monitor.alerts_raised)
+            registry.gauge("monitor_buffered_events",
+                           "Events buffered toward the next window.",
+                           monitor.buffered)
+        return registry.render()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self.batcher.close()
+
+
+__all__ = ["API_VERSION", "Gateway", "GatewayError", "SERVER_NAME"]

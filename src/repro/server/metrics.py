@@ -1,0 +1,68 @@
+"""Prometheus text exposition (version 0.0.4) for the serving gateway.
+
+A deliberately tiny renderer — the gateway exports counters and gauges
+only, so the whole format is ``# HELP`` / ``# TYPE`` preambles plus
+``name{labels} value`` sample lines. No client library required.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+Labels = Optional[Dict[str, str]]
+Sample = Tuple[Labels, Union[int, float]]
+
+
+def _escape_label(value: str) -> str:
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _format_value(value: Union[int, float]) -> str:
+    if isinstance(value, bool):  # bool is an int subclass; be explicit
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+class MetricsRegistry:
+    """Collects (name, type, help, samples) families and renders them."""
+
+    def __init__(self, prefix: str = "repro"):
+        self.prefix = prefix
+        self._families: List[Tuple[str, str, str, List[Sample]]] = []
+
+    def add(self, name: str, kind: str, help_text: str,
+            samples: Iterable[Sample]) -> None:
+        if kind not in ("counter", "gauge"):
+            raise ValueError(f"unsupported metric type {kind!r}")
+        full = f"{self.prefix}_{name}" if self.prefix else name
+        self._families.append((full, kind, help_text, list(samples)))
+
+    def counter(self, name: str, help_text: str, value: Union[int, float],
+                labels: Labels = None) -> None:
+        self.add(name, "counter", help_text, [(labels, value)])
+
+    def gauge(self, name: str, help_text: str, value: Union[int, float],
+              labels: Labels = None) -> None:
+        self.add(name, "gauge", help_text, [(labels, value)])
+
+    def render(self) -> str:
+        lines: List[str] = []
+        for name, kind, help_text, samples in self._families:
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            for labels, value in samples:
+                if labels:
+                    rendered = ",".join(
+                        f'{key}="{_escape_label(val)}"'
+                        for key, val in sorted(labels.items()))
+                    lines.append(f"{name}{{{rendered}}} "
+                                 f"{_format_value(value)}")
+                else:
+                    lines.append(f"{name} {_format_value(value)}")
+        return "\n".join(lines) + "\n"
+
+
+__all__ = ["MetricsRegistry"]

@@ -315,6 +315,21 @@ class StreamMonitor:
         return [(index, float(scores[node]))
                 for index, scores in self._history if node < scores.size]
 
+    @property
+    def buffered(self) -> int:
+        """Events held toward the next window (not yet scored)."""
+        return len(self._buffer)
+
+    def stats_dict(self) -> Dict[str, int]:
+        """JSON-able monitor counters (the serve gateway's /metrics feed)."""
+        return {
+            "events_consumed": self.events_consumed,
+            "windows_scored": self.windows_scored,
+            "alerts_raised": self.alerts_raised,
+            "buffered": self.buffered,
+            "num_nodes": self.builder.num_nodes,
+        }
+
     # ------------------------------------------------------------------
     def _score_window(self, batch: List[Event]) -> WindowReport:
         start = time.perf_counter()

@@ -1,0 +1,72 @@
+"""Packaging metadata: pyproject.toml must produce an installable dist.
+
+The original ``setup.py`` was a bare ``setup()`` with zero metadata, so
+``pip install .`` produced an empty distribution — no packages, no entry
+point. These tests pin the fix without running pip: the declared src
+layout must actually contain the package, and the declared console script
+must resolve to a callable.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+# stdlib from 3.11; on the older interpreters requires-python still
+# admits, skip the metadata tests rather than breaking collection
+tomllib = pytest.importorskip("tomllib")
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def pyproject() -> dict:
+    path = REPO_ROOT / "pyproject.toml"
+    assert path.exists(), "pyproject.toml is missing"
+    with open(path, "rb") as handle:
+        return tomllib.load(handle)
+
+
+class TestProjectMetadata:
+    def test_core_fields(self, pyproject):
+        project = pyproject["project"]
+        assert project["name"]
+        assert project["version"]
+        assert project["description"]
+        assert "numpy" in project["dependencies"]
+        assert "scipy" in project["dependencies"]
+
+    def test_version_matches_the_package(self, pyproject):
+        import repro
+
+        assert pyproject["project"]["version"] == repro.__version__
+
+    def test_build_system_is_setuptools(self, pyproject):
+        build = pyproject["build-system"]
+        assert build["build-backend"] == "setuptools.build_meta"
+
+    def test_src_layout_points_at_the_package(self, pyproject):
+        where = pyproject["tool"]["setuptools"]["packages"]["find"]["where"]
+        assert where == ["src"]
+        assert (REPO_ROOT / "src" / "repro" / "__init__.py").exists()
+
+
+class TestConsoleScript:
+    def test_entry_point_declared(self, pyproject):
+        assert pyproject["project"]["scripts"]["repro"] == "repro.cli:main"
+
+    def test_entry_point_resolves_to_a_callable(self, pyproject):
+        """Resolve the declared entry point exactly as installers do."""
+        target = pyproject["project"]["scripts"]["repro"]
+        module_name, _, attribute = target.partition(":")
+        __import__(module_name)
+        function = getattr(sys.modules[module_name], attribute)
+        assert callable(function)
+
+    def test_entry_point_is_the_cli(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        assert "serve" in out and "detect" in out
