@@ -13,6 +13,7 @@ Subcommands::
     python -m repro.cli serve --registry models/ --activate retail-v1
     python -m repro.cli stream --events events.jsonl --model model.npz --window 500
     python -m repro.cli experiment table2 --profile fast
+    python -m repro.cli trace --last 5 --port 8765
     python -m repro.cli datasets
 
 ``detect`` fits UMGAD on a named dataset or a saved ``.npz`` multiplex
@@ -24,9 +25,15 @@ warm-cache serving latency, ``stream`` replays a JSONL event log through
 the online monitor (one report per window; with ``--output json``, one
 JSON object per line), ``serve`` runs the HTTP serving gateway
 (:mod:`repro.server`: micro-batched ``/v1/score``, ``/v1/events``,
-model hot-swap, Prometheus ``/metrics``), and ``experiment`` regenerates
-one paper table/figure. ``detect``/``score``/``serve-bench`` take
-``--output json`` for machine-readable results.
+model hot-swap, Prometheus ``/metrics``), ``trace`` pretty-prints the
+span trees a running server publishes at ``GET /v1/traces``, and
+``experiment`` regenerates one paper table/figure.
+``detect``/``score``/``serve-bench`` take ``--output json`` for
+machine-readable results.
+
+``REPRO_PROFILE=1`` wraps ``detect``/``score``/``experiment`` in a trace
+and prints a per-stage cost table (wall/CPU per pipeline stage) to stderr
+after the run.
 """
 
 from __future__ import annotations
@@ -34,6 +41,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
 import time
 
@@ -210,6 +218,16 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
     experiment.add_argument("--profile", choices=sorted(_PROFILES),
                             default="fast")
+
+    trace = sub.add_parser(
+        "trace", help="show request traces from a running serve gateway")
+    trace.add_argument("--last", type=int, default=5,
+                       help="how many of the newest traces to show")
+    trace.add_argument("--id", dest="trace_id", default=None,
+                       help="fetch one specific trace id instead")
+    trace.add_argument("--host", default="127.0.0.1")
+    trace.add_argument("--port", type=int, default=8765)
+    _add_output_arg(trace)
 
     sub.add_parser("datasets", help="list built-in datasets")
     return parser
@@ -502,6 +520,36 @@ def _run_experiment(args) -> int:
     return 0
 
 
+def _run_trace(args) -> int:
+    from .obs import render_trace_tree
+    from .server import ServerClient, ServerClientError
+
+    client = ServerClient(host=args.host, port=args.port)
+    try:
+        payload = client.traces(
+            last=args.last if args.trace_id is None else None,
+            trace_id=args.trace_id)
+    except ServerClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: cannot reach {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+    if args.output == "json":
+        print(json.dumps(payload, default=float))
+        return 0
+    traces = payload.get("traces", [])
+    if not traces:
+        print("no traces recorded yet (trace a request first, e.g. "
+              "POST /v1/score)")
+        return 0
+    print("\n\n".join(render_trace_tree(trace) for trace in traces))
+    return 0
+
+
 def _resolve_dtype(args) -> None:
     """Apply --dtype; serving commands inherit the checkpoint's precision.
 
@@ -525,9 +573,7 @@ def _resolve_dtype(args) -> None:
         set_default_dtype(dtype)
 
 
-def main(argv=None) -> int:
-    args = _build_parser().parse_args(argv)
-    _resolve_dtype(args)
+def _dispatch_command(args) -> int:
     if args.command == "detect":
         return _run_detect(args)
     if args.command == "save":
@@ -558,11 +604,34 @@ def main(argv=None) -> int:
             return 1
     if args.command == "experiment":
         return _run_experiment(args)
+    if args.command == "trace":
+        return _run_trace(args)
     if args.command == "datasets":
         for name in available_datasets():
             print(name)
         return 0
     return 1  # pragma: no cover
+
+
+#: commands whose runs REPRO_PROFILE=1 wraps in a trace + cost table
+_PROFILED_COMMANDS = ("detect", "score", "experiment")
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    _resolve_dtype(args)
+    profile = os.environ.get("REPRO_PROFILE", "").strip().lower() in (
+        "1", "true", "yes", "on")
+    if profile and args.command in _PROFILED_COMMANDS:
+        from .obs import render_profile, start_trace
+
+        with start_trace(f"cli.{args.command}") as trace:
+            code = _dispatch_command(args)
+        if trace is not None:
+            # stderr on purpose: --output json on stdout stays parseable
+            print(render_profile(trace), file=sys.stderr)
+        return code
+    return _dispatch_command(args)
 
 
 if __name__ == "__main__":

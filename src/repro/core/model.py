@@ -47,6 +47,7 @@ from ..engine import (
 from ..graphs.masking import attribute_mask, attribute_swap, edge_mask, subgraph_mask
 from ..graphs.multiplex import MultiplexGraph
 from ..nn import Adam, Module, ModuleList, Parameter, init
+from ..obs.trace import span
 from ..utils.rng import ensure_rng
 from ..utils.timer import Timer
 from .config import UMGADConfig
@@ -333,15 +334,17 @@ class UMGAD(BaseDetector):
         """
         if cache is not None and id(bank) in cache:
             return cache[id(bank)]
-        x = Tensor(graph.x)
-        relations = self._relation_list(graph)
-        weights = self._eval_fusion_weights()
-        per_rel = []
-        fused = np.zeros_like(graph.x)
-        for r, rel in enumerate(relations):
-            rec = bank[r].forward(x, rel).data
-            per_rel.append(rec)
-            fused = fused + weights[r] * rec
+        with span("score.fused_pass") as sp:
+            x = Tensor(graph.x)
+            relations = self._relation_list(graph)
+            sp.set("relations", len(relations))
+            weights = self._eval_fusion_weights()
+            per_rel = []
+            fused = np.zeros_like(graph.x)
+            for r, rel in enumerate(relations):
+                rec = bank[r].forward(x, rel).data
+                per_rel.append(rec)
+                fused = fused + weights[r] * rec
         if cache is not None:
             cache[id(bank)] = (fused, per_rel)
         return fused, per_rel
@@ -365,46 +368,49 @@ class UMGAD(BaseDetector):
         """
         if not self.config.use_mask:
             return self._fused_eval_recon(graph=graph, bank=bank, cache=cache)
-        x = Tensor(graph.x)
-        relations = self._relation_list(graph)
-        weights = self._eval_fusion_weights()
-        n = graph.num_nodes
-        num_groups = max(2, int(np.ceil(1.0 / self.config.mask_ratio)))
-        perm = self._rng.permutation(n)
-        groups = [g for g in np.array_split(perm, num_groups) if g.size]
+        with span("score.masked_group") as sp:
+            x = Tensor(graph.x)
+            relations = self._relation_list(graph)
+            weights = self._eval_fusion_weights()
+            n = graph.num_nodes
+            num_groups = max(2, int(np.ceil(1.0 / self.config.mask_ratio)))
+            perm = self._rng.permutation(n)
+            groups = [g for g in np.array_split(perm, num_groups) if g.size]
+            sp.set("groups", len(groups))
+            sp.set("relations", len(relations))
 
-        # Batched only when the fast engine is on AND the tape is off —
-        # checking the flag here (not just the grad state) keeps the
-        # REPRO_DISABLE_FAST_SCORE escape hatch effective even when a
-        # caller wraps scoring in their own no_grad().
-        if fast_score_enabled() and not is_grad_enabled():
-            per_rel = [bank[r].impute_grouped(x, rel, groups)
-                       for r, rel in enumerate(relations)]
-        else:
-            per_rel = [np.zeros_like(graph.x) for _ in relations]
-            for group in groups:
-                for r, rel in enumerate(relations):
-                    rec = bank[r].forward(x, rel, masked_nodes=group).data
-                    per_rel[r][group] = rec[group]
+            # Batched only when the fast engine is on AND the tape is off —
+            # checking the flag here (not just the grad state) keeps the
+            # REPRO_DISABLE_FAST_SCORE escape hatch effective even when a
+            # caller wraps scoring in their own no_grad().
+            if fast_score_enabled() and not is_grad_enabled():
+                per_rel = [bank[r].impute_grouped(x, rel, groups)
+                           for r, rel in enumerate(relations)]
+            else:
+                per_rel = [np.zeros_like(graph.x) for _ in relations]
+                for group in groups:
+                    for r, rel in enumerate(relations):
+                        rec = bank[r].forward(x, rel, masked_nodes=group).data
+                        per_rel[r][group] = rec[group]
 
-        # Degree-aware fusion: a masked node can only be imputed from
-        # relations where it actually has neighbors — fusing in a
-        # neighbor-less relation's output injects pure mask-token noise
-        # (this dominates on sparse graphs like DG-Fin). Rows with no
-        # neighbors anywhere fall back to the unweighted mean so their
-        # score is driven by the structure term instead.
-        avail = np.stack([rel.degrees() > 0 for rel in relations], axis=1)
-        w_matrix = avail * weights[None, :]
-        row_sum = w_matrix.sum(axis=1, keepdims=True)
-        no_context = row_sum.ravel() <= 0
-        w_matrix[no_context] = 1.0 / len(relations)
-        row_sum = w_matrix.sum(axis=1, keepdims=True)
-        w_matrix = w_matrix / row_sum
+            # Degree-aware fusion: a masked node can only be imputed from
+            # relations where it actually has neighbors — fusing in a
+            # neighbor-less relation's output injects pure mask-token noise
+            # (this dominates on sparse graphs like DG-Fin). Rows with no
+            # neighbors anywhere fall back to the unweighted mean so their
+            # score is driven by the structure term instead.
+            avail = np.stack([rel.degrees() > 0 for rel in relations], axis=1)
+            w_matrix = avail * weights[None, :]
+            row_sum = w_matrix.sum(axis=1, keepdims=True)
+            no_context = row_sum.ravel() <= 0
+            w_matrix[no_context] = 1.0 / len(relations)
+            row_sum = w_matrix.sum(axis=1, keepdims=True)
+            w_matrix = w_matrix / row_sum
 
-        fused = np.zeros_like(graph.x)
-        for r in range(len(relations)):
-            fused += w_matrix[:, r:r + 1] * per_rel[r]
-        return fused, per_rel
+            fused = np.zeros_like(graph.x)
+            for r in range(len(relations)):
+                fused += w_matrix[:, r:r + 1] * per_rel[r]
+            return fused, per_rel
 
     def _view_score(self, graph: MultiplexGraph, fused: np.ndarray,
                     per_rel: List[np.ndarray], include_attr: bool,
@@ -413,24 +419,29 @@ class UMGAD(BaseDetector):
         relations = self._relation_list(graph)
         attr_err = None
         if include_attr:
-            attr_err = attribute_errors(fused, graph.x,
-                                        metric=cfg.attr_score_metric)
-            # A node with no neighbors in any relation has no imputation
-            # context: its "reconstruction" is mask-token noise, not
-            # evidence. Neutralise those to the median so isolated normal
-            # nodes (common on sparse graphs) don't flood the top ranks.
-            has_context = np.zeros(graph.num_nodes, dtype=bool)
-            for rel in relations:
-                has_context |= rel.degrees() > 0
-            if has_context.any() and (~has_context).any():
-                attr_err[~has_context] = np.median(attr_err[has_context])
+            with span("score.attributes"):
+                attr_err = attribute_errors(fused, graph.x,
+                                            metric=cfg.attr_score_metric)
+                # A node with no neighbors in any relation has no
+                # imputation context: its "reconstruction" is mask-token
+                # noise, not evidence. Neutralise those to the median so
+                # isolated normal nodes (common on sparse graphs) don't
+                # flood the top ranks.
+                has_context = np.zeros(graph.num_nodes, dtype=bool)
+                for rel in relations:
+                    has_context |= rel.degrees() > 0
+                if has_context.any() and (~has_context).any():
+                    attr_err[~has_context] = np.median(attr_err[has_context])
         struct_errs = []
         if include_struct:
-            for rel, decoded in zip(relations, per_rel):
-                struct_errs.append(structure_errors(
-                    decoded, rel, cfg.structure_score_mode, self._rng,
-                    negatives_per_node=cfg.structure_score_negatives,
-                    exact_max_nodes=cfg.exact_score_max_nodes, fast=fast))
+            with span("score.structure") as sp:
+                sp.set("relations", len(relations))
+                for rel, decoded in zip(relations, per_rel):
+                    struct_errs.append(structure_errors(
+                        decoded, rel, cfg.structure_score_mode, self._rng,
+                        negatives_per_node=cfg.structure_score_negatives,
+                        exact_max_nodes=cfg.exact_score_max_nodes,
+                        fast=fast))
         return combine_view_score(attr_err, struct_errs, cfg.epsilon)
 
     def _compute_scores(self, graph: MultiplexGraph) -> np.ndarray:
@@ -458,49 +469,59 @@ class UMGAD(BaseDetector):
         try:
             with (no_grad() if fast else nullcontext()):
                 if cfg.use_original and cfg.mode != "sub":
-                    fused, _ = self._masked_eval_recon(nets.attr, graph, cache)
-                    if cfg.mode in ("full", "str"):
-                        # structure term from the structure-GMAE's decoded
-                        # features (full-graph decode: edge prediction
-                        # needs full context)
-                        _, per_rel_struct = self._fused_eval_recon(
-                            nets.struct, graph, cache)
-                    else:
-                        # mode == "att": the view ignores the structure
-                        # term entirely, so don't pay a full fused pass
-                        # for decoded features nobody reads
-                        per_rel_struct = []
-                    views.append(self._view_score(
-                        graph, fused, per_rel_struct, include_attr,
-                        include_struct, fast=fast))
+                    with span("score.view") as sp:
+                        sp.set("view", "original")
+                        fused, _ = self._masked_eval_recon(
+                            nets.attr, graph, cache)
+                        if cfg.mode in ("full", "str"):
+                            # structure term from the structure-GMAE's
+                            # decoded features (full-graph decode: edge
+                            # prediction needs full context)
+                            _, per_rel_struct = self._fused_eval_recon(
+                                nets.struct, graph, cache)
+                        else:
+                            # mode == "att": the view ignores the structure
+                            # term entirely, so don't pay a full fused pass
+                            # for decoded features nobody reads
+                            per_rel_struct = []
+                        views.append(self._view_score(
+                            graph, fused, per_rel_struct, include_attr,
+                            include_struct, fast=fast))
 
                 if cfg.use_augmented and cfg.use_attr_aug and \
                         cfg.mode in ("full", "att"):
-                    fused, per_rel = self._masked_eval_recon(
-                        nets.attr_aug, graph, cache)
-                    if include_struct and cfg.mode == "full":
-                        _, per_rel = self._fused_eval_recon(
+                    with span("score.view") as sp:
+                        sp.set("view", "attr_aug")
+                        fused, per_rel = self._masked_eval_recon(
                             nets.attr_aug, graph, cache)
-                    views.append(self._view_score(
-                        graph, fused, per_rel, include_attr,
-                        include_struct and cfg.mode == "full", fast=fast))
+                        if include_struct and cfg.mode == "full":
+                            _, per_rel = self._fused_eval_recon(
+                                nets.attr_aug, graph, cache)
+                        views.append(self._view_score(
+                            graph, fused, per_rel, include_attr,
+                            include_struct and cfg.mode == "full",
+                            fast=fast))
 
                 if cfg.use_augmented and cfg.use_subgraph_aug and \
                         cfg.mode in ("full", "sub", "str"):
-                    fused, _ = self._masked_eval_recon(
-                        nets.sub_aug, graph, cache)
-                    _, per_rel = self._fused_eval_recon(
-                        nets.sub_aug, graph, cache)
-                    views.append(self._view_score(
-                        graph, fused, per_rel, include_attr, include_struct,
-                        fast=fast))
+                    with span("score.view") as sp:
+                        sp.set("view", "sub_aug")
+                        fused, _ = self._masked_eval_recon(
+                            nets.sub_aug, graph, cache)
+                        _, per_rel = self._fused_eval_recon(
+                            nets.sub_aug, graph, cache)
+                        views.append(self._view_score(
+                            graph, fused, per_rel, include_attr,
+                            include_struct, fast=fast))
         finally:
             nets.train(was_training)
 
         if not views:
             raise RuntimeError(
                 "configuration disables every view; nothing to score")
-        return np.mean(views, axis=0)
+        with span("score.aggregate") as sp:
+            sp.set("views", len(views))
+            return np.mean(views, axis=0)
 
     # ------------------------------------------------------------------
     @property

@@ -31,6 +31,7 @@ from ..autograd import enable_grad
 from ..graphs.multiplex import MultiplexGraph
 from ..nn.module import Module
 from ..nn.optim import Optimizer
+from ..obs.trace import span
 from ..utils.timer import Timer
 from .batching import BatchStrategy, FullGraphBatches, GraphBatch
 
@@ -269,7 +270,9 @@ class Trainer:
             # runs inside an ambient no_grad() region (e.g. a
             # drift-triggered refit launched from a scoring loop).
             with (self.timer.measure("epoch") if self.timer is not None
-                  else nullcontext()), enable_grad():
+                  else nullcontext()), enable_grad(), \
+                    span("train.epoch") as epoch_span:
+                epoch_span.set("epoch", epoch)
                 for batch in self.batch_strategy.batches(graph, epoch):
                     loss, parts = self._split_result(fn(batch))
                     self.optimizer.zero_grad()
@@ -284,6 +287,7 @@ class Trainer:
                     batch_losses.append(float(loss.data))
                     for key, value in parts.items():
                         parts_sum[key] = parts_sum.get(key, 0.0) + float(value)
+                epoch_span.set("batches", len(batch_losses))
             count = max(len(batch_losses), 1)
             state.loss_history.append(float(np.mean(batch_losses))
                                       if batch_losses else float("nan"))

@@ -15,6 +15,8 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from ..obs.trace import span
+
 
 @dataclass(frozen=True)
 class GATScatter:
@@ -143,21 +145,25 @@ class RelationGraph:
         """``D^{-1/2} (A [+ I]) D^{-1/2}`` — the GCN/SGC propagation operator."""
         key = bool(add_self_loops)
         if key not in self._sym_prop:
-            adj = self.adjacency()
-            if add_self_loops:
-                adj = adj + sp.eye(self.num_nodes, format="csr",
-                                   dtype=adj.dtype)
-            deg = np.asarray(adj.sum(axis=1)).ravel()
-            inv_sqrt = np.zeros_like(deg)
-            nz = deg > 0
-            inv_sqrt[nz] = 1.0 / np.sqrt(deg[nz])
-            d_half = sp.diags(inv_sqrt)
-            # Pre-converted to CSR once here — spmm's hot path asserts CSR
-            # in debug mode instead of silently converting per call — and
-            # flagged symmetric so the backward pass reuses the operator.
-            prop = (d_half @ adj @ d_half).tocsr()
-            prop._spmm_transpose = prop
-            self._sym_prop[key] = prop
+            with span("propagator.build") as sp_:
+                sp_.set("kind", "sym")
+                sp_.set("relation", self.name)
+                adj = self.adjacency()
+                if add_self_loops:
+                    adj = adj + sp.eye(self.num_nodes, format="csr",
+                                       dtype=adj.dtype)
+                deg = np.asarray(adj.sum(axis=1)).ravel()
+                inv_sqrt = np.zeros_like(deg)
+                nz = deg > 0
+                inv_sqrt[nz] = 1.0 / np.sqrt(deg[nz])
+                d_half = sp.diags(inv_sqrt)
+                # Pre-converted to CSR once here — spmm's hot path asserts
+                # CSR in debug mode instead of silently converting per call
+                # — and flagged symmetric so the backward pass reuses the
+                # operator.
+                prop = (d_half @ adj @ d_half).tocsr()
+                prop._spmm_transpose = prop
+                self._sym_prop[key] = prop
         return self._sym_prop[key]
 
     def block_propagator(self, copies: int,
@@ -176,10 +182,14 @@ class RelationGraph:
             return self.sym_propagator(add_self_loops)
         key = (int(copies), bool(add_self_loops))
         if key not in self._block_props:
-            base = self.sym_propagator(add_self_loops)
-            prop = sp.block_diag([base] * int(copies), format="csr")
-            prop._spmm_transpose = prop       # block-diag of symmetric blocks
-            self._block_props[key] = prop
+            with span("propagator.build") as sp_:
+                sp_.set("kind", "block")
+                sp_.set("relation", self.name)
+                sp_.set("copies", int(copies))
+                base = self.sym_propagator(add_self_loops)
+                prop = sp.block_diag([base] * int(copies), format="csr")
+                prop._spmm_transpose = prop   # block-diag of symmetric blocks
+                self._block_props[key] = prop
         return self._block_props[key]
 
     def gat_scatter(self, copies: int = 1,
@@ -195,23 +205,27 @@ class RelationGraph:
         key = (int(copies), bool(add_self_loops))
         scatter = self._gat_scatters.get(key)
         if scatter is None:
-            n = self.num_nodes
-            src1, dst1 = self.directed_pairs()
-            offsets = np.arange(int(copies), dtype=np.int64) * n
-            src = (src1[None, :] + offsets[:, None]).reshape(-1)
-            dst = (dst1[None, :] + offsets[:, None]).reshape(-1)
-            if add_self_loops:
-                loops = np.arange(int(copies) * n, dtype=np.int64)
-                src = np.concatenate([src, loops])
-                dst = np.concatenate([dst, loops])
-            total = int(copies) * n
-            perm = np.argsort(dst, kind="stable")
-            indptr = np.zeros(total + 1, dtype=np.int64)
-            np.cumsum(np.bincount(dst, minlength=total), out=indptr[1:])
-            scatter = GATScatter(src=src, dst=dst, perm=perm, indptr=indptr,
-                                 indices=src[perm], dst_sorted=dst[perm],
-                                 num_nodes=total)
-            self._gat_scatters[key] = scatter
+            with span("propagator.build") as sp_:
+                sp_.set("kind", "gat_scatter")
+                sp_.set("relation", self.name)
+                sp_.set("copies", int(copies))
+                n = self.num_nodes
+                src1, dst1 = self.directed_pairs()
+                offsets = np.arange(int(copies), dtype=np.int64) * n
+                src = (src1[None, :] + offsets[:, None]).reshape(-1)
+                dst = (dst1[None, :] + offsets[:, None]).reshape(-1)
+                if add_self_loops:
+                    loops = np.arange(int(copies) * n, dtype=np.int64)
+                    src = np.concatenate([src, loops])
+                    dst = np.concatenate([dst, loops])
+                total = int(copies) * n
+                perm = np.argsort(dst, kind="stable")
+                indptr = np.zeros(total + 1, dtype=np.int64)
+                np.cumsum(np.bincount(dst, minlength=total), out=indptr[1:])
+                scatter = GATScatter(src=src, dst=dst, perm=perm,
+                                     indptr=indptr, indices=src[perm],
+                                     dst_sorted=dst[perm], num_nodes=total)
+                self._gat_scatters[key] = scatter
         return scatter
 
     # ------------------------------------------------------------------

@@ -1,0 +1,127 @@
+"""Structured JSONL logging stamped with the active trace/span ids.
+
+One record per line, strict JSON, machine-greppable::
+
+    {"ts": 1754650000.123, "level": "info", "logger": "repro.server",
+     "event": "score.request", "trace_id": "4f…", "span_id": "3", ...}
+
+The trace correlation is the point: any log line emitted inside an
+active span carries that span's ``trace_id``/``span_id``, so a slow
+request found in ``GET /v1/traces`` can be joined against its log lines
+(and vice versa) without guessing by timestamp.
+
+Configuration is deliberately tiny: records go to ``sys.stderr`` unless
+``REPRO_LOG=<path>`` (or :func:`configure`) redirects them to a file,
+and ``REPRO_LOG_LEVEL`` (debug/info/warning/error, default ``info``)
+filters. No handlers, no formatters, no global registry beyond a cache
+of named loggers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from typing import Any, Dict, IO, Optional
+
+from .trace import current_span
+
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+_lock = threading.Lock()
+_loggers: Dict[str, "StructLogger"] = {}
+_stream: Optional[IO[str]] = None      # None -> resolve at emit time
+_threshold: Optional[int] = None       # None -> resolve from env
+
+
+def _resolve_threshold() -> int:
+    global _threshold
+    if _threshold is None:
+        name = os.environ.get("REPRO_LOG_LEVEL", "info").strip().lower()
+        _threshold = LEVELS.get(name, LEVELS["info"])
+    return _threshold
+
+
+def _resolve_stream() -> IO[str]:
+    global _stream
+    if _stream is None:
+        path = os.environ.get("REPRO_LOG", "").strip()
+        if path:
+            _stream = open(path, "a", encoding="utf-8")  # noqa: SIM115
+        else:
+            # Late-bound on purpose: tests that capture/replace stderr
+            # must see records without reconfiguring.
+            return sys.stderr
+    return _stream
+
+
+def configure(stream: Optional[IO[str]] = None,
+              level: Optional[str] = None) -> None:
+    """Redirect all structured logs / change the level filter."""
+    global _stream, _threshold
+    with _lock:
+        _stream = stream
+        if level is not None:
+            key = level.strip().lower()
+            if key not in LEVELS:
+                raise ValueError(
+                    f"unknown level {level!r}; pick one of {sorted(LEVELS)}")
+            _threshold = LEVELS[key]
+        elif stream is None:
+            _threshold = None   # re-resolve from env next time
+
+
+class StructLogger:
+    """A named emitter of one-line JSON records."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def log(self, level: str, event: str, **fields: Any) -> None:
+        if LEVELS.get(level, LEVELS["info"]) < _resolve_threshold():
+            return
+        record: Dict[str, Any] = {
+            "ts": time.time(),
+            "level": level,
+            "logger": self.name,
+            "event": event,
+        }
+        span = current_span()
+        if span is not None and span.recording:
+            record["trace_id"] = span.trace_id
+            record["span_id"] = span.span_id
+        record.update(fields)
+        line = json.dumps(record, default=str, separators=(",", ":"))
+        with _lock:
+            stream = _resolve_stream()
+            try:
+                stream.write(line + "\n")
+                stream.flush()
+            except (ValueError, OSError):
+                pass    # closed stream at interpreter teardown — drop
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self.log("error", event, **fields)
+
+
+def get_logger(name: str) -> StructLogger:
+    """The (cached) structured logger for ``name``."""
+    with _lock:
+        logger = _loggers.get(name)
+        if logger is None:
+            logger = _loggers[name] = StructLogger(name)
+    return logger
+
+
+__all__ = ["LEVELS", "StructLogger", "configure", "get_logger"]

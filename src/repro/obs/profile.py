@@ -1,0 +1,122 @@
+"""Per-stage cost tables and flamegraph-style trace rendering.
+
+Two consumers:
+
+* ``REPRO_PROFILE=1`` — the CLI wraps ``detect``/``score``/``experiment``
+  in a trace and prints :func:`render_profile`'s aggregated per-stage
+  cost table (count, wall, CPU, share of the run) afterwards;
+* ``repro trace --last N`` — renders the traces served by
+  ``GET /v1/traces`` as an indented span tree via :func:`render_trace_tree`.
+
+Both operate on :meth:`repro.obs.trace.Trace.to_dict` payloads, so they
+work identically on live traces and on JSON fetched over HTTP.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from .trace import Trace
+
+_TraceLike = Union[Trace, dict]
+
+
+def _as_dict(trace: _TraceLike) -> dict:
+    return trace.to_dict() if isinstance(trace, Trace) else trace
+
+
+def aggregate_spans(trace: _TraceLike) -> List[dict]:
+    """Aggregate a trace's spans by name.
+
+    Returns rows ``{name, count, wall_ms, cpu_ms, mean_ms, share}``
+    sorted by total wall time, descending. ``share`` is the fraction of
+    the **root** span's wall time (> 1 is impossible for a single stage;
+    the column can sum past 1 because stages nest).
+    """
+    payload = _as_dict(trace)
+    spans = payload.get("spans", [])
+    root_wall = payload.get("duration_ms") or 0.0
+    if not root_wall and spans:
+        root_wall = max((s["wall_ms"] for s in spans), default=0.0)
+    rows: Dict[str, dict] = {}
+    for span in spans:
+        row = rows.setdefault(span["name"], {
+            "name": span["name"], "count": 0,
+            "wall_ms": 0.0, "cpu_ms": 0.0,
+        })
+        row["count"] += 1
+        row["wall_ms"] += span["wall_ms"]
+        row["cpu_ms"] += span["cpu_ms"]
+    result = []
+    for row in rows.values():
+        row["mean_ms"] = row["wall_ms"] / row["count"]
+        row["share"] = (row["wall_ms"] / root_wall) if root_wall else 0.0
+        result.append(row)
+    result.sort(key=lambda r: -r["wall_ms"])
+    return result
+
+
+def render_profile(trace: _TraceLike, title: Optional[str] = None) -> str:
+    """The ``REPRO_PROFILE=1`` per-stage cost table."""
+    payload = _as_dict(trace)
+    rows = aggregate_spans(payload)
+    total = payload.get("duration_ms")
+    header = title or (f"profile: {payload.get('name', 'trace')} "
+                       f"[{payload.get('trace_id', '?')}]")
+    lines = [header]
+    if total is not None:
+        lines.append(f"total {total:.1f} ms"
+                     + (f" ({payload['dropped']} span(s) dropped)"
+                        if payload.get("dropped") else ""))
+    if not rows:
+        lines.append("(no spans recorded)")
+        return "\n".join(lines)
+    name_width = max(len("stage"), max(len(r["name"]) for r in rows))
+    lines.append(f"{'stage':<{name_width}} {'count':>6} {'wall ms':>10} "
+                 f"{'mean ms':>9} {'cpu ms':>10} {'share':>6}")
+    for row in rows:
+        lines.append(
+            f"{row['name']:<{name_width}} {row['count']:>6d} "
+            f"{row['wall_ms']:>10.1f} {row['mean_ms']:>9.2f} "
+            f"{row['cpu_ms']:>10.1f} {row['share']:>5.0%}")
+    return "\n".join(lines)
+
+
+def render_trace_tree(trace: _TraceLike) -> str:
+    """An indented parent→child rendering of one trace's spans."""
+    payload = _as_dict(trace)
+    spans = payload.get("spans", [])
+    children: Dict[Optional[str], List[dict]] = {}
+    for span in spans:
+        children.setdefault(span.get("parent_id"), []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda s: s["start_ms"])
+
+    lines = [f"trace {payload.get('trace_id', '?')} "
+             f"{payload.get('name', '')} "
+             + (f"{payload['duration_ms']:.1f} ms"
+                if payload.get("duration_ms") is not None else "")]
+    for link in payload.get("links", []):
+        target = link["trace_id"]
+        if link.get("span_id"):
+            target += f"/{link['span_id']}"
+        lines.append(f"  ~ {link['kind']} -> {target}")
+
+    def walk(parent_id: Optional[str], depth: int) -> None:
+        for span in children.get(parent_id, []):
+            attrs = span.get("attributes") or {}
+            attr_text = " ".join(
+                f"{k}={v}" for k, v in sorted(attrs.items()))
+            lines.append(
+                f"{'  ' * depth}- {span['name']}  "
+                f"{span['wall_ms']:.1f} ms (cpu {span['cpu_ms']:.1f})"
+                + (f"  {attr_text}" if attr_text else ""))
+            walk(span["span_id"], depth + 1)
+
+    walk(None, 1)
+    if payload.get("dropped"):
+        lines.append(f"  … {payload['dropped']} span(s) dropped")
+    return "\n".join(lines)
+
+
+__all__ = ["aggregate_spans", "render_profile", "render_trace_tree"]

@@ -1,0 +1,328 @@
+"""Pure-python Prometheus text-exposition (0.0.4) validator.
+
+Lints a full ``/metrics`` payload the way a strict scraper would parse
+it, returning a list of human-readable problems (empty = clean). Used by
+the test suite and the CI ``obs-smoke`` job to gate the gateway's real
+output, and exported for ad-hoc debugging::
+
+    from repro.obs import validate_exposition
+    problems = validate_exposition(text)
+
+Checks applied:
+
+* trailing newline; every line parses as a comment or a sample;
+* metric and label names match the Prometheus grammar;
+* ``# HELP``/``# TYPE`` appear at most once per family, ``TYPE`` names a
+  known type, and both precede the family's first sample — families with
+  samples must carry both (our renderer always emits the pair);
+* label values use only the legal escapes (``\\\\``, ``\\"``, ``\\n``)
+  and sample values parse as floats (``+Inf``/``-Inf``/``NaN`` allowed);
+* no duplicate sample (same name, same label set);
+* counters end in ``_total``;
+* histograms: every series carries ``le``, includes the ``+Inf`` bucket,
+  bucket counts are non-decreasing in ``le``, ``_count`` equals the
+  ``+Inf`` bucket, and ``_sum``/``_count`` exist — all checked per
+  distinct non-``le`` label set.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Tuple
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+KNOWN_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _parse_value(text: str) -> Optional[float]:
+    """A sample/bound value, or ``None`` when malformed."""
+    stripped = text.strip()
+    lowered = stripped.lower()
+    if lowered in ("+inf", "inf"):
+        return math.inf
+    if lowered == "-inf":
+        return -math.inf
+    if lowered == "nan":
+        return math.nan
+    # Go's ParseFloat accepts scientific notation; so do we (the linter's
+    # non-scientific preference is enforced by the renderer, not here).
+    try:
+        return float(stripped)
+    except ValueError:
+        return None
+
+
+def _parse_labels(text: str, line_no: int,
+                  errors: List[str]) -> Optional[List[Tuple[str, str]]]:
+    """Parse ``name="value",…`` (without braces); None on a syntax error."""
+    labels: List[Tuple[str, str]] = []
+    i, n = 0, len(text)
+    while i < n:
+        eq = text.find("=", i)
+        if eq < 0:
+            errors.append(f"line {line_no}: label without '=' in {text!r}")
+            return None
+        name = text[i:eq].strip()
+        if not LABEL_NAME.match(name):
+            errors.append(f"line {line_no}: bad label name {name!r}")
+            return None
+        if eq + 1 >= n or text[eq + 1] != '"':
+            errors.append(
+                f"line {line_no}: label {name!r} value is not quoted")
+            return None
+        value_chars: List[str] = []
+        j = eq + 2
+        closed = False
+        while j < n:
+            ch = text[j]
+            if ch == "\\":
+                if j + 1 >= n or text[j + 1] not in ('\\', '"', 'n'):
+                    errors.append(
+                        f"line {line_no}: invalid escape in label "
+                        f"{name!r} value")
+                    return None
+                value_chars.append(
+                    "\n" if text[j + 1] == "n" else text[j + 1])
+                j += 2
+                continue
+            if ch == '"':
+                closed = True
+                j += 1
+                break
+            value_chars.append(ch)
+            j += 1
+        if not closed:
+            errors.append(
+                f"line {line_no}: unterminated label value for {name!r}")
+            return None
+        labels.append((name, "".join(value_chars)))
+        if j < n:
+            if text[j] != ",":
+                errors.append(
+                    f"line {line_no}: expected ',' between labels, got "
+                    f"{text[j]!r}")
+                return None
+            j += 1
+        i = j
+    return labels
+
+
+class _Family:
+    __slots__ = ("help", "type", "samples", "first_sample_line")
+
+    def __init__(self):
+        self.help: Optional[str] = None
+        self.type: Optional[str] = None
+        # (suffixed name, labels tuple, value, line_no)
+        self.samples: List[Tuple[str, Tuple[Tuple[str, str], ...],
+                                 float, int]] = []
+        self.first_sample_line: Optional[int] = None
+
+
+def _base_name(name: str, families: Dict[str, _Family]) -> str:
+    """Collapse histogram/summary sample suffixes onto their family."""
+    for suffix in _HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix):
+            base = name[:-len(suffix)]
+            family = families.get(base)
+            if family is not None and family.type in ("histogram",
+                                                      "summary"):
+                return base
+    return name
+
+
+def validate_exposition(text: str,
+                        require_total_suffix: bool = True) -> List[str]:
+    """Lint ``text``; returns a list of problems (empty when clean)."""
+    errors: List[str] = []
+    if not text:
+        return ["exposition is empty"]
+    if not text.endswith("\n"):
+        errors.append("exposition must end with a newline")
+
+    families: Dict[str, _Family] = {}
+    seen_samples: set = set()
+
+    for line_no, line in enumerate(text.split("\n"), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 2 or parts[1] not in ("HELP", "TYPE"):
+                continue    # free-form comment: legal, ignored
+            if len(parts) < 3 or not METRIC_NAME.match(parts[2]):
+                errors.append(
+                    f"line {line_no}: # {parts[1]} needs a valid metric "
+                    f"name")
+                continue
+            name = parts[2]
+            family = families.setdefault(name, _Family())
+            if family.first_sample_line is not None:
+                errors.append(
+                    f"line {line_no}: # {parts[1]} {name} appears after "
+                    f"the family's samples (line "
+                    f"{family.first_sample_line})")
+            if parts[1] == "HELP":
+                if family.help is not None:
+                    errors.append(
+                        f"line {line_no}: duplicate # HELP for {name}")
+                family.help = parts[3] if len(parts) > 3 else ""
+            else:
+                if family.type is not None:
+                    errors.append(
+                        f"line {line_no}: duplicate # TYPE for {name}")
+                kind = parts[3].strip() if len(parts) > 3 else ""
+                if kind not in KNOWN_TYPES:
+                    errors.append(
+                        f"line {line_no}: unknown type {kind!r} for "
+                        f"{name} (expected one of {KNOWN_TYPES})")
+                family.type = kind
+            continue
+
+        # ------------------------------ sample line -----------------------
+        brace = line.find("{")
+        if brace >= 0:
+            close = line.rfind("}")
+            if close < brace:
+                errors.append(f"line {line_no}: unbalanced braces")
+                continue
+            name = line[:brace].strip()
+            labels = _parse_labels(line[brace + 1:close], line_no, errors)
+            if labels is None:
+                continue
+            rest = line[close + 1:].strip()
+        else:
+            pieces = line.split(None, 1)
+            if len(pieces) < 2:
+                errors.append(f"line {line_no}: sample without a value")
+                continue
+            name, rest = pieces[0], pieces[1]
+            labels = []
+        if not METRIC_NAME.match(name):
+            errors.append(f"line {line_no}: bad metric name {name!r}")
+            continue
+        label_names = [key for key, _ in labels]
+        if len(set(label_names)) != len(label_names):
+            errors.append(
+                f"line {line_no}: duplicate label name on {name}")
+            continue
+        fields = rest.split()
+        if not fields or len(fields) > 2:   # value [timestamp]
+            errors.append(
+                f"line {line_no}: expected 'value [timestamp]', got "
+                f"{rest!r}")
+            continue
+        value = _parse_value(fields[0])
+        if value is None:
+            errors.append(
+                f"line {line_no}: unparseable value {fields[0]!r}")
+            continue
+
+        label_key = tuple(sorted(labels))
+        if (name, label_key) in seen_samples:
+            errors.append(
+                f"line {line_no}: duplicate sample {name}{dict(labels)}")
+        seen_samples.add((name, label_key))
+
+        base = _base_name(name, families)
+        family = families.setdefault(base, _Family())
+        if family.first_sample_line is None:
+            family.first_sample_line = line_no
+        family.samples.append((name, label_key, value, line_no))
+
+    # ------------------------------ family-level checks -------------------
+    for name, family in sorted(families.items()):
+        if not family.samples:
+            if family.help is not None or family.type is not None:
+                errors.append(f"family {name}: HELP/TYPE but no samples")
+            continue
+        if family.help is None:
+            errors.append(f"family {name}: missing # HELP")
+        if family.type is None:
+            errors.append(f"family {name}: missing # TYPE")
+            continue
+        if family.type == "counter":
+            if require_total_suffix and not name.endswith("_total"):
+                errors.append(
+                    f"family {name}: counters should end in _total")
+            for sample_name, _labels, value, line_no in family.samples:
+                if value < 0 or math.isnan(value):
+                    errors.append(
+                        f"line {line_no}: counter {sample_name} has "
+                        f"non-monotonic value {value}")
+        if family.type == "histogram":
+            errors.extend(_check_histogram(name, family))
+    return errors
+
+
+def _check_histogram(name: str, family: _Family) -> List[str]:
+    errors: List[str] = []
+    # group by the non-le label set
+    series: Dict[tuple, Dict[str, object]] = {}
+    for sample_name, label_key, value, line_no in family.samples:
+        labels = dict(label_key)
+        le = labels.pop("le", None)
+        key = tuple(sorted(labels.items()))
+        bucket = series.setdefault(
+            key, {"buckets": [], "sum": None, "count": None})
+        if sample_name == f"{name}_bucket":
+            if le is None:
+                errors.append(
+                    f"line {line_no}: {sample_name} without an le label")
+                continue
+            bound = _parse_value(le)
+            if bound is None:
+                errors.append(
+                    f"line {line_no}: unparseable le bound {le!r}")
+                continue
+            bucket["buckets"].append((bound, value, line_no))
+        elif sample_name == f"{name}_sum":
+            bucket["sum"] = value
+        elif sample_name == f"{name}_count":
+            bucket["count"] = value
+        else:
+            errors.append(
+                f"histogram {name}: unexpected sample name {sample_name}")
+    for key, data in sorted(series.items()):
+        label_desc = dict(key) or "(no labels)"
+        buckets = sorted(data["buckets"], key=lambda item: item[0])
+        if not buckets:
+            errors.append(
+                f"histogram {name}{label_desc}: no _bucket samples")
+            continue
+        if not math.isinf(buckets[-1][0]):
+            errors.append(
+                f"histogram {name}{label_desc}: missing le=\"+Inf\" bucket")
+        previous = -math.inf
+        for bound, value, line_no in buckets:
+            if value < previous:
+                errors.append(
+                    f"line {line_no}: histogram {name}{label_desc} bucket "
+                    f"le={bound} count {value} < previous {previous} "
+                    f"(buckets must be cumulative)")
+            previous = value
+        if data["count"] is None:
+            errors.append(f"histogram {name}{label_desc}: missing _count")
+        elif math.isinf(buckets[-1][0]) and data["count"] != buckets[-1][1]:
+            errors.append(
+                f"histogram {name}{label_desc}: _count {data['count']} != "
+                f"+Inf bucket {buckets[-1][1]}")
+        if data["sum"] is None:
+            errors.append(f"histogram {name}{label_desc}: missing _sum")
+    return errors
+
+
+def assert_valid_exposition(text: str,
+                            require_total_suffix: bool = True) -> None:
+    """Raise ``AssertionError`` listing every problem found in ``text``."""
+    problems = validate_exposition(
+        text, require_total_suffix=require_total_suffix)
+    if problems:
+        raise AssertionError(
+            "invalid Prometheus exposition:\n  " + "\n  ".join(problems))
+
+
+__all__ = ["assert_valid_exposition", "validate_exposition"]

@@ -31,6 +31,7 @@ from ..autograd import no_grad
 from ..detection import BaseDetector
 from ..graphs.io import graph_fingerprint
 from ..graphs.multiplex import MultiplexGraph
+from ..obs.trace import annotate, span
 from .checkpoint import load_checkpoint
 
 
@@ -211,6 +212,7 @@ class DetectorService:
         detector = self.detector
         if fingerprint == self.trained_fingerprint and \
                 detector._scores is not None:
+            annotate("score_source", "stored")
             return detector.decision_scores()
         score_graph = getattr(detector, "score_graph", None)
         if score_graph is None:
@@ -226,7 +228,8 @@ class DetectorService:
         # through the grad-free scoring engine — unless
         # REPRO_DISABLE_FAST_SCORE=1 asks for the sequential
         # tape-recording fallback end to end.
-        with (no_grad() if fast_score_enabled() else nullcontext()):
+        with span("service.score_pass"), \
+                (no_grad() if fast_score_enabled() else nullcontext()):
             return score_graph(graph)
 
     def _entry(self, graph: MultiplexGraph,
@@ -239,6 +242,7 @@ class DetectorService:
             if entry is not None:
                 self.stats.hits += 1
                 self._cache.move_to_end(fingerprint)
+                annotate("cache", "hit")
                 return entry
             waiter = self._inflight.get(fingerprint)
             if waiter is None:
@@ -248,11 +252,13 @@ class DetectorService:
                 self._inflight[fingerprint] = waiter
                 generation = self._generation
         if leader:
+            annotate("cache", "miss")
             return self._compute_entry(graph, fingerprint, waiter, generation)
         # Follower: another thread is already scoring this fingerprint;
         # wait for its result instead of duplicating the pass (dog-pile
         # protection for the threaded server's worst case — a thundering
         # herd of identical cold requests).
+        annotate("cache", "wait")
         waiter.done.wait()
         if waiter.error is not None:
             raise waiter.error
@@ -307,7 +313,10 @@ class DetectorService:
         in O(delta) — skip the full rehash. It MUST equal
         :func:`~repro.graphs.io.graph_fingerprint` of ``graph``.
         """
-        return self._entry(graph, fingerprint).scores
+        with span("service.scores") as sp:
+            entry = self._entry(graph, fingerprint)
+            sp.set("nodes", int(entry.scores.size))
+            return entry.scores
 
     def cached_scores(self, fingerprint: str) -> Optional[np.ndarray]:
         """Scores for a fingerprint *without* the graph, or ``None``.

@@ -19,12 +19,18 @@ JSON API:
 * :mod:`repro.server.protocol` — the JSON wire format (full-precision
   score serialisation: HTTP-served scores are bitwise-identical to
   in-process ``score_graph`` output);
-* :mod:`repro.server.metrics` — Prometheus text exposition.
+* :mod:`repro.server.metrics` — Prometheus text exposition (counters,
+  gauges and latency histograms).
+
+Observability (:mod:`repro.obs`) is threaded through every layer: traced
+requests echo ``X-Repro-Trace-Id``, completed traces are served at
+``GET /v1/traces``, and per-endpoint/per-stage latency histograms ride
+along on ``/metrics``.
 
 Start one from the CLI with ``python -m repro.cli serve --model model.npz``.
 """
 
-from .app import ReproServer, ServerThread, make_server
+from .app import ReproServer, ServerThread, TRACE_HEADER, make_server
 from .batcher import AdmissionError, BatcherStats, MicroBatcher
 from .client import ServerClient, ServerClientError
 from .gateway import API_VERSION, Gateway, GatewayError, SERVER_NAME
@@ -45,6 +51,7 @@ __all__ = [
     "ServerClient",
     "ServerClientError",
     "ServerThread",
+    "TRACE_HEADER",
     "graph_from_payload",
     "graph_payload",
     "make_server",

@@ -12,6 +12,11 @@ Endpoints::
     POST /v1/models/{name}/activate    hot-swap the served checkpoint
     GET  /healthz                      liveness + basic state
     GET  /metrics                      Prometheus text exposition
+    GET  /v1/traces                    recently completed request traces
+
+Every traced request (everything except ``/metrics`` and ``/v1/traces``)
+echoes its trace id on the ``X-Repro-Trace-Id`` response header; clients
+may supply the header to pick the id themselves.
 
 Error contract: every failure is an HTTP response with a JSON
 ``{"error": ...}`` body — 400 malformed payloads, 404 unknown resources,
@@ -25,14 +30,20 @@ from __future__ import annotations
 import json
 import re
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
-from urllib.parse import urlparse
+from urllib.parse import parse_qs, urlparse
 
+from ..obs.trace import annotate, sanitize_trace_id, start_trace
 from ..serve.checkpoint import CheckpointError
 from ..serve.service import ServiceError
 from .batcher import AdmissionError
 from .gateway import Gateway, GatewayError, SERVER_NAME
+
+#: request/response header carrying the request's trace id; clients may
+#: supply their own (sanitized) id to stitch server traces into theirs
+TRACE_HEADER = "X-Repro-Trace-Id"
 
 _ACTIVATE_PATTERN = re.compile(
     r"^/v1/models/(?P<name>[A-Za-z0-9][A-Za-z0-9._-]*)/activate$")
@@ -62,6 +73,9 @@ class ServerHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        trace_id = getattr(self, "_trace_id", None)
+        if trace_id:
+            self.send_header(TRACE_HEADER, trace_id)
         if status == 429:
             self.send_header("Retry-After", "1")
         if self.close_connection:
@@ -70,7 +84,11 @@ class ServerHandler(BaseHTTPRequestHandler):
             self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
-        self.gateway.record(endpoint, status)
+        started = getattr(self, "_request_started", None)
+        self.gateway.record(
+            endpoint, status,
+            seconds=(time.perf_counter() - started)
+            if started is not None else None)
 
     def _send_json(self, status: int, payload: dict, endpoint: str) -> None:
         body = json.dumps(payload).encode("utf-8")
@@ -135,8 +153,27 @@ class ServerHandler(BaseHTTPRequestHandler):
                 break
             remaining -= len(chunk)
 
-    def _dispatch(self, endpoint: str, handler) -> None:
-        """Run one endpoint handler under the uniform error contract."""
+    def _dispatch(self, endpoint: str, handler, traced: bool = True) -> None:
+        """Run one endpoint handler under the uniform error contract.
+
+        When ``traced`` (the default), the handler runs inside a request
+        trace: a sanitized client-supplied ``X-Repro-Trace-Id`` is adopted
+        (a fresh id is minted otherwise), the completed trace lands in the
+        gateway's ring buffer for ``GET /v1/traces``, its span durations
+        feed the per-stage histograms, and the id echoes back on the
+        response header. ``/metrics`` and ``/v1/traces`` themselves pass
+        ``traced=False`` so reading telemetry never pollutes it.
+        """
+        trace = None
+        trace_cm = start_trace(
+            f"http.{endpoint}",
+            trace_id=sanitize_trace_id(self.headers.get(TRACE_HEADER)),
+            store=self.gateway.traces) if traced else None
+        if trace_cm is not None:
+            trace = trace_cm.__enter__()
+            if trace is not None:
+                self._trace_id = trace.trace_id
+                annotate("endpoint", endpoint)
         try:
             status, payload = handler()
         except GatewayError as exc:
@@ -148,6 +185,11 @@ class ServerHandler(BaseHTTPRequestHandler):
         except Exception as exc:  # noqa: BLE001 - the 500 safety net
             status, payload = 500, {
                 "error": f"internal error: {type(exc).__name__}: {exc}"}
+        if trace_cm is not None:
+            annotate("status", status)
+            trace_cm.__exit__(None, None, None)
+            if trace is not None:
+                self.gateway.observe_trace(trace.to_dict())
         try:
             self._send_json(status, payload, endpoint)
         except (BrokenPipeError, ConnectionResetError):
@@ -161,7 +203,10 @@ class ServerHandler(BaseHTTPRequestHandler):
     # Routing
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
-        path = urlparse(self.path).path
+        self._request_started = time.perf_counter()
+        self._trace_id = None
+        parsed = urlparse(self.path)
+        path = parsed.path
         if path == "/healthz":
             self._dispatch("healthz", lambda: (200, self.gateway.health()))
         elif path == "/metrics":
@@ -178,11 +223,28 @@ class ServerHandler(BaseHTTPRequestHandler):
         elif path == "/v1/models":
             self._dispatch("models", lambda: (200,
                                               self.gateway.list_models()))
+        elif path == "/v1/traces":
+            query = parse_qs(parsed.query)
+            self._dispatch("traces", lambda: (200, self._traces_response(
+                query)), traced=False)
         else:
             self._send_error_json(404, f"no such endpoint: GET {path}",
                                   "unknown")
 
+    def _traces_response(self, query: dict) -> dict:
+        last = query.get("last", [None])[0]
+        if last is not None:
+            try:
+                last = int(last)
+            except ValueError:
+                raise GatewayError("'last' must be an integer",
+                                   400) from None
+        return self.gateway.traces_payload(
+            last=last, trace_id=query.get("id", [None])[0])
+
     def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        self._request_started = time.perf_counter()
+        self._trace_id = None
         path = urlparse(self.path).path
         if path == "/v1/score":
             self._dispatch(
@@ -291,4 +353,5 @@ class ServerThread:
         self.stop()
 
 
-__all__ = ["ReproServer", "ServerHandler", "ServerThread", "make_server"]
+__all__ = ["ReproServer", "ServerHandler", "ServerThread", "TRACE_HEADER",
+           "make_server"]

@@ -36,6 +36,8 @@ from typing import Dict, List, Optional
 
 from ..graphs.io import graph_fingerprint
 from ..graphs.multiplex import MultiplexGraph
+from ..obs.hist import BATCH_SIZE_BOUNDS, DURATION_BOUNDS, Histogram
+from ..obs.trace import current_span, current_trace, span, use_span
 from ..serve.service import DetectorService
 
 
@@ -73,7 +75,8 @@ class BatcherStats:
 class _Group:
     """One open batch: every future here is answered by one scoring pass."""
 
-    __slots__ = ("fingerprint", "graph", "futures", "deadline")
+    __slots__ = ("fingerprint", "graph", "futures", "deadline",
+                 "submit_times", "obs_parent")
 
     def __init__(self, fingerprint: str, graph: MultiplexGraph,
                  future: Future, deadline: float):
@@ -81,6 +84,12 @@ class _Group:
         self.graph = graph
         self.futures: List[Future] = [future]
         self.deadline = deadline
+        #: per-future admission timestamps (monotonic) for queue-wait stats
+        self.submit_times: List[float] = [time.monotonic()]
+        # The leader request's ambient span: worker threads adopt it so
+        # the batch span lands in that request's trace. None when the
+        # leader was untraced.
+        self.obs_parent = current_span()
 
 
 class MicroBatcher:
@@ -121,6 +130,10 @@ class MicroBatcher:
         self.max_batch = int(max_batch)
         self._linger = float(linger_ms) / 1000.0
         self.stats = BatcherStats()
+        #: seconds between a request's admission and its batch starting
+        self.queue_wait = Histogram(DURATION_BOUNDS)
+        #: requests answered per scoring pass
+        self.batch_sizes = Histogram(BATCH_SIZE_BOUNDS)
         self._lock = threading.Lock()
         self._groups: Dict[str, _Group] = {}
         self._pending = 0
@@ -174,7 +187,17 @@ class MicroBatcher:
             group = self._groups.get(fingerprint)
             if group is not None and len(group.futures) < self.max_batch:
                 group.futures.append(future)
+                group.submit_times.append(time.monotonic())
                 self.stats.coalesced += 1
+                # Followers ride the leader's scoring pass; their traces
+                # point at the leader's trace/span instead of duplicating
+                # the batch span.
+                if group.obs_parent is not None:
+                    trace = current_trace()
+                    if trace is not None:
+                        trace.link("coalesced_into",
+                                   group.obs_parent.trace_id,
+                                   group.obs_parent.span_id)
             else:
                 enqueue = _Group(fingerprint, graph, future,
                                  time.monotonic() + self._linger)
@@ -201,14 +224,37 @@ class MicroBatcher:
                 if self._groups.get(group.fingerprint) is group:
                     del self._groups[group.fingerprint]
                 futures = list(group.futures)
-            try:
-                scores = self.service.scores(group.graph, group.fingerprint)
-            except BaseException as exc:
+                submit_times = list(group.submit_times)
+            batch_started = time.monotonic()
+            for submitted in submit_times:
+                self.queue_wait.observe(batch_started - submitted)
+            self.batch_sizes.observe(len(futures))
+            # The scoring pass runs under the leader request's span (if it
+            # was traced); the error is captured in a local so the worker
+            # thread survives to resolve the futures either way.
+            error: Optional[BaseException] = None
+            scores = None
+            with use_span(group.obs_parent), span("batcher.batch") as sp:
+                sp.set("batch_size", len(futures))
+                sp.set("coalesced", len(futures) - 1)
+                try:
+                    scores = self.service.scores(group.graph,
+                                                 group.fingerprint)
+                except BaseException as exc:
+                    sp.set("error", type(exc).__name__)
+                    error = exc
+            batch_info = {
+                "batch_size": len(futures),
+                "coalesced": len(futures) - 1,
+                "queue_wait_ms": (batch_started - submit_times[0]) * 1e3,
+            }
+            if error is not None:
                 with self._lock:
                     self.stats.failed += len(futures)
                     self._pending -= len(futures)
                 for future in futures:
-                    future.set_exception(exc)
+                    future.obs_batch = batch_info
+                    future.set_exception(error)
             else:
                 with self._lock:
                     self.stats.batches += 1
@@ -217,6 +263,7 @@ class MicroBatcher:
                                                    len(futures))
                     self._pending -= len(futures)
                 for future in futures:
+                    future.obs_batch = batch_info
                     future.set_result(scores)
 
     # ------------------------------------------------------------------

@@ -13,28 +13,44 @@ from __future__ import annotations
 
 import http.client
 import json
-from typing import Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Union
 
 from .gateway import SERVER_NAME
+
+TRACE_HEADER = "X-Repro-Trace-Id"
 
 
 class ServerClientError(RuntimeError):
     """A non-2xx response from the serving gateway."""
 
-    def __init__(self, status: int, message: str):
+    def __init__(self, status: int, message: str,
+                 trace_id: Optional[str] = None):
         super().__init__(f"HTTP {status}: {message}")
         self.status = int(status)
         self.message = message
+        #: server-side trace id of the failed request, when traced —
+        #: look it up via ``client.traces(trace_id=...)``
+        self.trace_id = trace_id
 
 
 class ServerClient:
-    """Minimal JSON client for every gateway endpoint."""
+    """Minimal JSON client for every gateway endpoint.
+
+    After every call, :attr:`last_headers` holds the response headers and
+    :attr:`last_trace_id` the server's ``X-Repro-Trace-Id`` (``None`` for
+    untraced endpoints), so callers can correlate any response with its
+    server-side trace in ``GET /v1/traces``.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8765,
                  timeout: float = 60.0):
         self.host = host
         self.port = int(port)
         self.timeout = float(timeout)
+        #: response headers of the most recent request
+        self.last_headers: Dict[str, str] = {}
+        #: server trace id of the most recent request, if traced
+        self.last_trace_id: Optional[str] = None
         self._connection: Optional[http.client.HTTPConnection] = None
 
     # ------------------------------------------------------------------
@@ -56,9 +72,12 @@ class ServerClient:
         self.close()
 
     def _request(self, method: str, path: str,
-                 payload: Optional[dict] = None):
+                 payload: Optional[dict] = None,
+                 trace_id: Optional[str] = None):
         body = None
         headers = {"Accept": "application/json"}
+        if trace_id is not None:
+            headers[TRACE_HEADER] = str(trace_id)
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -68,6 +87,8 @@ class ServerClient:
             response = connection.getresponse()
             status = response.status
             content_type = response.headers.get("Content-Type", "")
+            self.last_headers = dict(response.headers.items())
+            self.last_trace_id = response.headers.get(TRACE_HEADER)
             raw = response.read()
         except (http.client.HTTPException, OSError):
             # A dead keep-alive connection is not retryable mid-request;
@@ -81,7 +102,8 @@ class ServerClient:
         if status >= 400:
             message = data.get("error", str(data)) \
                 if isinstance(data, dict) else str(data)
-            raise ServerClientError(status, message)
+            raise ServerClientError(status, message,
+                                    trace_id=self.last_trace_id)
         return data
 
     # ------------------------------------------------------------------
@@ -91,14 +113,16 @@ class ServerClient:
               fingerprint: Optional[str] = None,
               nodes: Optional[List[int]] = None,
               top_k: Optional[int] = None,
-              threshold: bool = False) -> dict:
+              threshold: bool = False,
+              trace_id: Optional[str] = None) -> dict:
         """POST /v1/score.
 
         ``graph`` is the inline payload form (see
         :func:`repro.server.protocol.graph_payload`, or pass a
         :class:`~repro.graphs.multiplex.MultiplexGraph` and it is
         serialised for you); ``fingerprint`` alone performs a warm-cache
-        lookup.
+        lookup. ``trace_id`` is forwarded as ``X-Repro-Trace-Id`` so the
+        server-side trace adopts the caller's id.
         """
         if graph is None and fingerprint is None:
             raise ValueError("score() needs a graph payload or a fingerprint")
@@ -117,7 +141,8 @@ class ServerClient:
             payload["top_k"] = int(top_k)
         if threshold:
             payload["threshold"] = True
-        return self._request("POST", "/v1/score", payload)
+        return self._request("POST", "/v1/score", payload,
+                             trace_id=trace_id)
 
     def events(self, events: Iterable[Union[dict, object]],
                flush: bool = False) -> dict:
@@ -145,9 +170,25 @@ class ServerClient:
         """GET /metrics (raw Prometheus text)."""
         return self._request("GET", "/metrics")
 
+    def traces(self, last: Optional[int] = None,
+               trace_id: Optional[str] = None) -> dict:
+        """GET /v1/traces — recently completed request traces.
+
+        ``last`` limits to the N newest; ``trace_id`` fetches one specific
+        trace (404 → :class:`ServerClientError` when it fell out of the
+        ring).
+        """
+        params = []
+        if last is not None:
+            params.append(f"last={int(last)}")
+        if trace_id is not None:
+            params.append(f"id={trace_id}")
+        query = ("?" + "&".join(params)) if params else ""
+        return self._request("GET", f"/v1/traces{query}")
+
     def __repr__(self) -> str:
         return (f"ServerClient({SERVER_NAME} at "
                 f"http://{self.host}:{self.port})")
 
 
-__all__ = ["ServerClient", "ServerClientError"]
+__all__ = ["ServerClient", "ServerClientError", "TRACE_HEADER"]

@@ -22,6 +22,8 @@ from typing import Dict, List, Optional
 
 from ..graphs.io import graph_fingerprint
 from ..graphs.multiplex import MultiplexGraph
+from ..obs.hist import DURATION_BOUNDS, Histogram
+from ..obs.trace import TraceStore, annotate, span
 from ..serve.registry import ModelRegistry
 from ..serve.service import DetectorService, ServiceError
 from ..stream.builder import IncrementalGraphBuilder
@@ -83,7 +85,7 @@ class Gateway:
                  request_timeout: float = 60.0,
                  window: int = 500, stride: Optional[int] = None,
                  top_k: int = 10, psi_threshold: float = 0.25,
-                 jump_sigma: float = 6.0):
+                 jump_sigma: float = 6.0, trace_capacity: int = 128):
         self.service = service
         self.registry = registry
         self.active_model = active_model
@@ -99,16 +101,65 @@ class Gateway:
         self._monitor_lock = threading.Lock()
         self._counter_lock = threading.Lock()
         self._requests: Dict[tuple, int] = {}
+        #: ring buffer of completed request traces (GET /v1/traces)
+        self.traces = TraceStore(trace_capacity)
+        self._hist_lock = threading.Lock()
+        self._endpoint_hist: Dict[str, Histogram] = {}
+        self._stage_hist: Dict[str, Histogram] = {}
         self._started = time.monotonic()
 
     # ------------------------------------------------------------------
     # Telemetry
     # ------------------------------------------------------------------
-    def record(self, endpoint: str, status: int) -> None:
-        """Count one answered request (called by the HTTP handler)."""
+    def record(self, endpoint: str, status: int,
+               seconds: Optional[float] = None) -> None:
+        """Count one answered request (called by the HTTP handler).
+
+        ``seconds`` — the request's wall duration — additionally feeds the
+        per-endpoint latency histogram exported at ``/metrics``.
+        """
         with self._counter_lock:
             key = (endpoint, int(status))
             self._requests[key] = self._requests.get(key, 0) + 1
+        if seconds is not None:
+            with self._hist_lock:
+                hist = self._endpoint_hist.get(endpoint)
+                if hist is None:
+                    hist = self._endpoint_hist[endpoint] = \
+                        Histogram(DURATION_BOUNDS)
+            hist.observe(seconds)
+
+    def observe_trace(self, payload: dict) -> None:
+        """Fold one completed trace's span durations into the per-stage
+        latency histograms (span names are a small static set, so the
+        metric cardinality stays bounded)."""
+        for span_dict in payload.get("spans", ()):
+            name = span_dict["name"]
+            with self._hist_lock:
+                hist = self._stage_hist.get(name)
+                if hist is None:
+                    hist = self._stage_hist[name] = \
+                        Histogram(DURATION_BOUNDS)
+            hist.observe(span_dict["wall_ms"] / 1e3)
+
+    # ------------------------------------------------------------------
+    # GET /v1/traces
+    # ------------------------------------------------------------------
+    def traces_payload(self, last: Optional[int] = None,
+                       trace_id: Optional[str] = None) -> dict:
+        """Recently completed traces, newest first (``GET /v1/traces``)."""
+        if trace_id is not None:
+            found = self.traces.get(trace_id)
+            if found is None:
+                raise GatewayError(f"trace {trace_id!r} not found "
+                                   "(ring capacity "
+                                   f"{self.traces.capacity})", 404)
+            return {"traces": [found]}
+        if last is not None and (last < 1):
+            raise GatewayError("'last' must be a positive integer", 400)
+        return {"traces": self.traces.last(last),
+                "capacity": self.traces.capacity,
+                "stored": len(self.traces)}
 
     @property
     def uptime_seconds(self) -> float:
@@ -136,7 +187,8 @@ class Gateway:
             # AdmissionError (429/503) propagates to the HTTP layer as-is.
             future = self.batcher.submit(graph, fingerprint)
             try:
-                scores = future.result(timeout=self.request_timeout)
+                with span("batcher.wait"):
+                    scores = future.result(timeout=self.request_timeout)
             except FutureTimeoutError:
                 raise GatewayError(
                     f"scoring did not finish within "
@@ -147,6 +199,10 @@ class Gateway:
                 # (feature/relation count). Both are "this model cannot
                 # answer this request", not server bugs.
                 raise GatewayError(str(exc), 409) from None
+            batch_info = getattr(future, "obs_batch", None)
+            if batch_info is not None:
+                annotate("batch_size", batch_info["batch_size"])
+                annotate("coalesced", batch_info["coalesced"])
             threshold = self._threshold_for(fingerprint, scores) \
                 if want_threshold else None
         elif "fingerprint" in payload:
@@ -156,6 +212,7 @@ class Gateway:
                 raise GatewayError(
                     f"fingerprint {fingerprint[:12]}… is not cached; "
                     "include the inline 'graph' payload instead", 404)
+            annotate("score_source", "warm_cache")
             nodes = self._parse_nodes(payload, scores.size)
             threshold = self._threshold_for(fingerprint, scores) \
                 if want_threshold else None
@@ -370,6 +427,33 @@ class Gateway:
             registry.gauge("monitor_buffered_events",
                            "Events buffered toward the next window.",
                            monitor.buffered)
+        with self._hist_lock:
+            endpoint_series = [({"endpoint": name}, hist.snapshot())
+                               for name, hist
+                               in sorted(self._endpoint_hist.items())]
+            stage_series = [({"stage": name}, hist.snapshot())
+                            for name, hist
+                            in sorted(self._stage_hist.items())]
+        if endpoint_series:
+            registry.histogram(
+                "http_request_duration_seconds",
+                "Wall time per answered HTTP request, by endpoint.",
+                endpoint_series)
+        if stage_series:
+            registry.histogram(
+                "stage_duration_seconds",
+                "Wall time per traced pipeline stage (span name).",
+                stage_series)
+        if self.batcher.queue_wait.count:
+            registry.histogram(
+                "batcher_queue_wait_seconds",
+                "Seconds between request admission and its batch starting.",
+                self.batcher.queue_wait)
+        if self.batcher.batch_sizes.count:
+            registry.histogram(
+                "batcher_batch_size",
+                "Requests answered per scoring pass.",
+                self.batcher.batch_sizes)
         return registry.render()
 
     # ------------------------------------------------------------------

@@ -1,16 +1,31 @@
 """Prometheus text exposition (version 0.0.4) for the serving gateway.
 
-A deliberately tiny renderer — the gateway exports counters and gauges
-only, so the whole format is ``# HELP`` / ``# TYPE`` preambles plus
-``name{labels} value`` sample lines. No client library required.
+A deliberately tiny renderer — counters, gauges and full histogram
+families (``_bucket``/``_sum``/``_count`` with cumulative buckets and the
+``+Inf`` bound), no client library required. Conventions are enforced at
+render time so callers can't drift:
+
+* counter families are exported with the ``_total`` suffix (appended when
+  missing);
+* values render in non-scientific decimal form (``repr`` floats like
+  ``1e-05`` are expanded), with ``+Inf``/``-Inf``/``NaN`` spelled the way
+  Prometheus parsers expect.
+
+The output is linted end-to-end by :mod:`repro.obs.promlint` in the test
+suite and the CI ``obs-smoke`` job.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+import math
+from decimal import Decimal
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..obs.hist import Histogram, HistogramSnapshot
 
 Labels = Optional[Dict[str, str]]
 Sample = Tuple[Labels, Union[int, float]]
+HistogramSample = Tuple[Labels, HistogramSnapshot]
 
 
 def _escape_label(value: str) -> str:
@@ -23,7 +38,22 @@ def _format_value(value: Union[int, float]) -> str:
         return "1" if value else "0"
     if isinstance(value, int):
         return str(value)
-    return repr(float(value))
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    text = repr(value)
+    if "e" in text or "E" in text:
+        # repr() goes scientific past ~1e16 / below 1e-4; expand to plain
+        # decimal (Decimal(repr(x)) is exact for repr's shortest form).
+        text = format(Decimal(text), "f")
+    return text
+
+
+def _render_labels(labels: Dict[str, str]) -> str:
+    return ",".join(f'{key}="{_escape_label(val)}"'
+                    for key, val in labels.items())
 
 
 class MetricsRegistry:
@@ -31,13 +61,18 @@ class MetricsRegistry:
 
     def __init__(self, prefix: str = "repro"):
         self.prefix = prefix
-        self._families: List[Tuple[str, str, str, List[Sample]]] = []
+        self._families: List[Tuple[str, str, str, list]] = []
 
     def add(self, name: str, kind: str, help_text: str,
             samples: Iterable[Sample]) -> None:
         if kind not in ("counter", "gauge"):
             raise ValueError(f"unsupported metric type {kind!r}")
         full = f"{self.prefix}_{name}" if self.prefix else name
+        if kind == "counter" and not full.endswith("_total"):
+            # Prometheus naming convention: cumulative counters carry the
+            # unit-less _total suffix. Enforced here so every exporter
+            # call site stays consistent for free.
+            full += "_total"
         self._families.append((full, kind, help_text, list(samples)))
 
     def counter(self, name: str, help_text: str, value: Union[int, float],
@@ -48,21 +83,59 @@ class MetricsRegistry:
               labels: Labels = None) -> None:
         self.add(name, "gauge", help_text, [(labels, value)])
 
+    def histogram(self, name: str, help_text: str,
+                  samples: Union[Histogram, HistogramSnapshot,
+                                 Sequence[HistogramSample]],
+                  labels: Labels = None) -> None:
+        """One histogram family.
+
+        ``samples`` is a live :class:`~repro.obs.hist.Histogram`, a
+        :class:`~repro.obs.hist.HistogramSnapshot`, or a list of
+        ``(labels, snapshot)`` pairs for labelled series (e.g. one per
+        endpoint). Rendering follows the exposition format: cumulative
+        ``_bucket`` lines per bound plus ``le="+Inf"``, then ``_sum`` and
+        ``_count``.
+        """
+        if isinstance(samples, Histogram):
+            samples = [(labels, samples.snapshot())]
+        elif isinstance(samples, HistogramSnapshot):
+            samples = [(labels, samples)]
+        full = f"{self.prefix}_{name}" if self.prefix else name
+        self._families.append((full, "histogram", help_text, list(samples)))
+
+    # ------------------------------------------------------------------
     def render(self) -> str:
         lines: List[str] = []
         for name, kind, help_text, samples in self._families:
             lines.append(f"# HELP {name} {help_text}")
             lines.append(f"# TYPE {name} {kind}")
+            if kind == "histogram":
+                for labels, snap in samples:
+                    self._render_histogram(lines, name, labels or {}, snap)
+                continue
             for labels, value in samples:
                 if labels:
-                    rendered = ",".join(
-                        f'{key}="{_escape_label(val)}"'
-                        for key, val in sorted(labels.items()))
+                    rendered = _render_labels(dict(sorted(labels.items())))
                     lines.append(f"{name}{{{rendered}}} "
                                  f"{_format_value(value)}")
                 else:
                     lines.append(f"{name} {_format_value(value)}")
         return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def _render_histogram(lines: List[str], name: str,
+                          labels: Dict[str, str],
+                          snap: HistogramSnapshot) -> None:
+        base = dict(sorted(labels.items()))
+        bounds = list(snap.bounds) + [math.inf]
+        for bound, cumulative in zip(bounds, snap.cumulative):
+            bucket_labels = dict(base)
+            bucket_labels["le"] = _format_value(float(bound))
+            lines.append(f"{name}_bucket{{{_render_labels(bucket_labels)}}} "
+                         f"{cumulative}")
+        suffix = f"{{{_render_labels(base)}}}" if base else ""
+        lines.append(f"{name}_sum{suffix} {_format_value(snap.sum)}")
+        lines.append(f"{name}_count{suffix} {snap.count}")
 
 
 __all__ = ["MetricsRegistry"]

@@ -37,6 +37,7 @@ from typing import Callable, Deque, Dict, Iterable, Iterator, List, Optional, Tu
 import numpy as np
 
 from ..detection import BaseDetector
+from ..obs.trace import span
 from ..serve.service import DetectorService
 from .builder import IncrementalGraphBuilder
 from .events import Event
@@ -332,11 +333,21 @@ class StreamMonitor:
 
     # ------------------------------------------------------------------
     def _score_window(self, batch: List[Event]) -> WindowReport:
+        with span("stream.window") as window_span:
+            window_span.set("window", self.windows_scored)
+            window_span.set("events", len(batch))
+            report = self._score_window_body(batch)
+            window_span.set("alerts", len(report.alerts))
+            window_span.set("refit", report.refit)
+            return report
+
+    def _score_window_body(self, batch: List[Event]) -> WindowReport:
         start = time.perf_counter()
-        stats = self.builder.apply(batch)
-        self.events_consumed += len(batch)
-        snapshot = self.builder.snapshot()
-        fingerprint = self.builder.fingerprint()
+        with span("stream.apply"):
+            stats = self.builder.apply(batch)
+            self.events_consumed += len(batch)
+            snapshot = self.builder.snapshot()
+            fingerprint = self.builder.fingerprint()
         scores = self.service.scores(snapshot, fingerprint=fingerprint)
 
         index = self.windows_scored
