@@ -14,26 +14,32 @@ from conftest import save_and_echo
 
 from repro.core import UMGAD, UMGADConfig
 from repro.experiments import get_dataset
+from repro.utils import TimingResult
 
 
-def _per_epoch_seconds(graph, epochs, **config_overrides):
+def _per_epoch_seconds(graph, epochs, name, **config_overrides):
+    """Per-epoch wall-clock as a ledger-ready :class:`TimingResult`."""
     config = UMGADConfig(epochs=epochs, seed=0, **config_overrides)
     model = UMGAD(config).fit(graph)
     # skip epoch 0: it pays one-time propagator/adjacency construction
     timings = model.train_state.epoch_seconds[1:] or \
         model.train_state.epoch_seconds
-    return float(np.mean(timings)), model
+    timing = TimingResult(name=name, values=tuple(timings))
+    return float(np.mean(timings)), model, timing
 
 
-def test_sampled_epochs_beat_full_batch_on_large_graph(profile, output_dir):
+def test_sampled_epochs_beat_full_batch_on_large_graph(profile, output_dir,
+                                                       ledger):
     dataset = get_dataset("tsocial", profile)  # table3-size generator graph
     epochs = 4
 
-    full_s, full_model = _per_epoch_seconds(dataset.graph, epochs,
-                                            batch="full")
-    sub_s, sub_model = _per_epoch_seconds(
-        dataset.graph, epochs, batch="subgraph", batch_size=256,
-        batches_per_epoch=1)
+    full_s, full_model, full_timing = _per_epoch_seconds(
+        dataset.graph, epochs, "full_batch_epoch", batch="full")
+    sub_s, sub_model, sub_timing = _per_epoch_seconds(
+        dataset.graph, epochs, "sampled_epoch", batch="subgraph",
+        batch_size=256, batches_per_epoch=1)
+    ledger.record_timing(full_timing, epochs=epochs)
+    ledger.record_timing(sub_timing, epochs=epochs, batch_size=256)
 
     speedup = full_s / max(sub_s, 1e-12)
     report = "\n".join([
@@ -51,19 +57,28 @@ def test_sampled_epochs_beat_full_batch_on_large_graph(profile, output_dir):
     assert speedup >= 3.0
 
 
-def test_sampled_epoch_cost_scales_sublinearly(profile, output_dir):
+def test_sampled_epoch_cost_scales_sublinearly(profile, output_dir, ledger):
     """Doubling the graph should roughly double full-batch epochs but leave
     sampled epochs (fixed batch size) nearly unchanged."""
     small = get_dataset("tsocial", profile)
     big = get_dataset("tsocial", profile.variant(
         large_scale=profile.large_scale * 2))
 
-    full_small, _ = _per_epoch_seconds(small.graph, 3, batch="full")
-    full_big, _ = _per_epoch_seconds(big.graph, 3, batch="full")
-    sub_small, _ = _per_epoch_seconds(small.graph, 3, batch="subgraph",
-                                      batch_size=256, batches_per_epoch=1)
-    sub_big, _ = _per_epoch_seconds(big.graph, 3, batch="subgraph",
-                                    batch_size=256, batches_per_epoch=1)
+    full_small, _, t1 = _per_epoch_seconds(small.graph, 3,
+                                           "full_batch_epoch_small",
+                                           batch="full")
+    full_big, _, t2 = _per_epoch_seconds(big.graph, 3,
+                                         "full_batch_epoch_big",
+                                         batch="full")
+    sub_small, _, t3 = _per_epoch_seconds(small.graph, 3,
+                                          "sampled_epoch_small",
+                                          batch="subgraph", batch_size=256,
+                                          batches_per_epoch=1)
+    sub_big, _, t4 = _per_epoch_seconds(big.graph, 3, "sampled_epoch_big",
+                                        batch="subgraph", batch_size=256,
+                                        batches_per_epoch=1)
+    for timing in (t1, t2, t3, t4):
+        ledger.record_timing(timing)
 
     full_growth = full_big / max(full_small, 1e-12)
     sub_growth = sub_big / max(sub_small, 1e-12)

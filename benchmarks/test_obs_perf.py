@@ -15,11 +15,17 @@ hottest instrumented path — two ways:
 * **enabled overhead** (recorded, not asserted): interleaved min-of-N
   cold scoring with an active trace vs without, plus a bitwise parity
   check — tracing measures the pipeline, it must not perturb it.
+
+PR 7 adds the same bound for the runtime resource sampler
+(:class:`repro.obs.runtime.RuntimeSampler`): one ``capture_sample()``
+micro-timed against a cold scoring pass must keep the background
+sampler's share of the pass under 1% at the default 5s interval.
 """
 
-import time
+import math
 
 import numpy as np
+import pytest
 
 from conftest import save_and_echo
 
@@ -27,6 +33,8 @@ from repro.core import UMGAD
 from repro.datasets import load_dataset
 from repro.experiments.common import umgad_config
 from repro.obs import current_span, span, start_trace
+from repro.obs.runtime import capture_sample
+from repro.utils import Timer, measure_repeated
 
 SCALE = 0.4
 FEATURES = 24
@@ -48,39 +56,48 @@ def _fit_model(graph, profile):
     return UMGAD(config).fit(graph)
 
 
-def _noop_span_cost(iters=200_000):
-    """Per-call cost of an instrumentation point with no active trace."""
-    assert current_span() is None
-    best = float("inf")
-    for _ in range(3):
-        start = time.perf_counter()
-        for _ in range(iters):
-            with span("bench.noop") as sp_:
-                sp_.set("k", 1)
-        best = min(best, time.perf_counter() - start)
-    return best / iters
-
-
-def test_tracing_overhead(profile, output_dir):
+@pytest.fixture(scope="module")
+def fitted(profile):
     graph = _fresh_graph()
     model = _fit_model(graph, profile)
     model.score_graph(_fresh_graph())     # warm allocator/code paths once
+    return graph, model
+
+
+def _noop_span_cost(ledger, iters=200_000):
+    """Per-call cost of an instrumentation point with no active trace."""
+    assert current_span() is None
+
+    def burst():
+        for _ in range(iters):
+            with span("bench.noop") as sp_:
+                sp_.set("k", 1)
+
+    timing = measure_repeated(burst, reps=3, name="noop_span_burst")
+    ledger.record_timing(timing, iters=iters)
+    return timing.best / iters
+
+
+def test_tracing_overhead(fitted, profile, output_dir, ledger):
+    graph, model = fitted
 
     # --- interleaved min-of-N cold scoring, untraced vs traced ------------
-    untraced_best = traced_best = float("inf")
+    timer = Timer()
     untraced_scores = traced_scores = None
     for _ in range(REPS):
         cold = _fresh_graph()
-        start = time.perf_counter()
-        untraced_scores = model.score_graph(cold)
-        untraced_best = min(untraced_best, time.perf_counter() - start)
+        with timer.measure("score_untraced_cold"):
+            untraced_scores = model.score_graph(cold)
 
         cold = _fresh_graph()
-        start = time.perf_counter()
-        with start_trace("bench.score") as trace:
-            traced_scores = model.score_graph(cold)
-        traced_best = min(traced_best, time.perf_counter() - start)
+        with timer.measure("score_traced_cold"):
+            with start_trace("bench.score") as trace:
+                traced_scores = model.score_graph(cold)
 
+    untraced = timer.result("score_untraced_cold")
+    traced = timer.result("score_traced_cold")
+    ledger.record_timing(untraced)
+    ledger.record_timing(traced)
     assert np.array_equal(untraced_scores, traced_scores), \
         "tracing must not perturb scores"
 
@@ -89,19 +106,19 @@ def test_tracing_overhead(profile, output_dir):
     assert spans_created >= 4        # the pipeline stages are instrumented
 
     # --- bound the disabled (no-op) overhead against the seed path --------
-    per_call = _noop_span_cost()
+    per_call = _noop_span_cost(ledger)
     # 3x headroom: annotate()/current_span() call sites ride along with
     # the span() points counted above
     disabled_overhead = 3 * spans_created * per_call
-    disabled_share = disabled_overhead / untraced_best
+    disabled_share = disabled_overhead / untraced.best
 
-    enabled_share = (traced_best - untraced_best) / untraced_best
+    enabled_share = (traced.best - untraced.best) / untraced.best
     report = "\n".join([
         f"graph: {graph}  (scale {SCALE}, cold per rep, best of {REPS})",
         "",
         "cold decision_scores (bitwise-identical across arms)",
-        f"  untraced {untraced_best * 1e3:8.1f} ms",
-        f"  traced   {traced_best * 1e3:8.1f} ms   "
+        f"  untraced {untraced.best * 1e3:8.1f} ms",
+        f"  traced   {traced.best * 1e3:8.1f} ms   "
         f"({enabled_share:+.2%} vs untraced, {spans_created} spans)",
         "",
         "disabled-tracing overhead vs the seed path (no-op span bound)",
@@ -113,3 +130,46 @@ def test_tracing_overhead(profile, output_dir):
     save_and_echo(output_dir, "obs_perf", report)
 
     assert disabled_share < 0.02
+
+
+def test_runtime_sampler_overhead(fitted, output_dir, ledger):
+    """The background resource sampler must cost < 1% of a scoring pass.
+
+    Methodology mirrors the tracing bound: micro-time one
+    ``capture_sample()`` (everything the sampler thread does per tick
+    besides sleeping), count how many ticks the default 5s cadence fits
+    into one cold scoring pass, and bound the stolen time against the
+    measured pass. ``ceil`` on the tick count keeps the bound honest for
+    passes shorter than one interval.
+    """
+    _graph, model = fitted
+    interval = 5.0          # Gateway's sample_interval default
+
+    def burst(samples=200):
+        for _ in range(samples):
+            capture_sample()
+
+    sample_burst = measure_repeated(burst, reps=3, warmup=1,
+                                    name="runtime_sample_burst")
+    ledger.record_timing(sample_burst, samples=200)
+    per_sample = sample_burst.best / 200
+
+    cold_pass = measure_repeated(
+        lambda g: model.score_graph(g), reps=3, setup=_fresh_graph,
+        name="score_cold_for_sampler_bound")
+    ledger.record_timing(cold_pass)
+
+    ticks_per_pass = math.ceil(cold_pass.best / interval)
+    overhead = ticks_per_pass * per_sample
+    share = overhead / cold_pass.best
+
+    report = "\n".join([
+        f"capture_sample()      {per_sample * 1e6:8.1f} us "
+        f"(best of {sample_burst.reps} x 200-sample bursts)",
+        f"cold scoring pass     {cold_pass.best * 1e3:8.1f} ms",
+        f"ticks per pass        {ticks_per_pass} (interval {interval:.0f}s)",
+        f"sampler share of pass {share:8.4%}   (bar: < 1%)",
+    ])
+    save_and_echo(output_dir, "obs_perf_sampler", report)
+
+    assert share < 0.01

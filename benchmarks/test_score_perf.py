@@ -6,6 +6,8 @@ Table III-scale generator graph (full-size T-Social stand-in, the config
 the fast path (``no_grad`` + batched mask groups + CSR attention kernels +
 pass dedup) against the legacy path (``REPRO_DISABLE_FAST_SCORE=1``,
 sequential tape-recording forwards), with **bitwise-identical** scores.
+All timings run through :func:`repro.utils.measure_repeated` and land in
+the performance ledger (``score_perf.json``).
 
 Acceptance bars:
 
@@ -20,7 +22,6 @@ Acceptance bars:
 """
 
 import os
-import time
 
 import numpy as np
 
@@ -31,6 +32,7 @@ from repro.core import UMGAD
 from repro.datasets import load_dataset
 from repro.experiments.common import umgad_config
 from repro.serve import DetectorService
+from repro.utils import measure_repeated
 from repro.utils.rng import ensure_rng
 
 SCALE = 1.0          # Table III-scale: the full-size generator graph
@@ -52,37 +54,38 @@ def _fit_model(graph, profile):
     return UMGAD(config).fit(graph)
 
 
-def _timed_scores(model, graph, disable_fast, reps=3):
-    """(cold_seconds, warm_seconds, scores) for one path on a cold graph.
+def _timed_scores(model, graph, disable_fast, ledger, label, reps=3):
+    """(cold_timing, warm_timing) for one path on a cold graph.
 
-    ``warm`` is the best of ``reps`` — the stable statistic under the
-    allocator noise the rest of the benchmark suite leaves behind.
+    ``warm`` is a ``reps``-repetition measurement whose best value is the
+    stable statistic under the allocator noise the rest of the benchmark
+    suite leaves behind; both measurements go into the ledger.
     """
     os.environ["REPRO_DISABLE_FAST_SCORE"] = "1" if disable_fast else "0"
     try:
-        start = time.perf_counter()
-        scores = model.score_graph(graph)
-        cold = time.perf_counter() - start
-        warm = float("inf")
-        for _ in range(reps):
-            start = time.perf_counter()
-            scores = model.score_graph(graph)
-            warm = min(warm, time.perf_counter() - start)
-        return cold, warm, scores
+        cold = measure_repeated(lambda: model.score_graph(graph), reps=1,
+                                name=f"score_{label}_cold")
+        warm = measure_repeated(lambda: model.score_graph(graph), reps=reps,
+                                name=f"score_{label}_warm")
     finally:
         os.environ.pop("REPRO_DISABLE_FAST_SCORE", None)
+    ledger.record_timing(cold, path=label)
+    ledger.record_timing(warm, path=label)
+    return cold, warm
 
 
-def test_fast_scoring_beats_legacy(profile, output_dir):
+def test_fast_scoring_beats_legacy(profile, output_dir, ledger):
     graph = _fresh_graph()
     model = _fit_model(graph, profile)
 
     # --- end-to-end decision_scores, cold graph per path ------------------
-    legacy_cold, legacy_warm, legacy_scores = _timed_scores(
-        model, _fresh_graph(), disable_fast=True)
-    fast_cold, fast_warm, fast_scores = _timed_scores(
-        model, _fresh_graph(), disable_fast=False)
-    assert np.array_equal(legacy_scores, fast_scores)
+    legacy_cold, legacy_warm = _timed_scores(
+        model, _fresh_graph(), disable_fast=True, ledger=ledger,
+        label="legacy")
+    fast_cold, fast_warm = _timed_scores(
+        model, _fresh_graph(), disable_fast=False, ledger=ledger,
+        label="fast")
+    assert np.array_equal(legacy_warm.value, fast_warm.value)
 
     # --- the vectorised masked-group reconstruction stage -----------------
     nets = model.networks
@@ -97,20 +100,16 @@ def test_fast_scoring_beats_legacy(profile, output_dir):
         with no_grad():
             return model._masked_eval_recon(nets.attr, graph, {})
 
-    def best_of(fn, reps=3):
-        result, best = None, float("inf")
-        for _ in range(reps):
-            start = time.perf_counter()
-            result = fn()
-            best = min(best, time.perf_counter() - start)
-        return result, best
-
     masked_stage_fast()             # warm the shared operator caches
-    ref, stage_legacy = best_of(masked_stage_legacy)
-    out, stage_fast = best_of(masked_stage_fast)
+    stage_legacy = measure_repeated(masked_stage_legacy, reps=3,
+                                    name="masked_stage_sequential")
+    stage_fast = measure_repeated(masked_stage_fast, reps=3,
+                                  name="masked_stage_batched")
     nets.train()
-    assert np.array_equal(ref[0], out[0])
-    stage_speedup = stage_legacy / max(stage_fast, 1e-12)
+    ledger.record_timing(stage_legacy)
+    ledger.record_timing(stage_fast)
+    assert np.array_equal(stage_legacy.value[0], stage_fast.value[0])
+    stage_speedup = stage_legacy.best / max(stage_fast.best, 1e-12)
 
     # --- serving a checkpoint against an unseen graph ---------------------
     # (different content than the training graph, so the request misses the
@@ -119,45 +118,45 @@ def test_fast_scoring_beats_legacy(profile, output_dir):
     model.save(ckpt, graph=graph)
     serve_graph = _fresh_graph(DATA_SEED + 1)
 
-    def serve_request(disable_fast):
+    def serve_request(disable_fast, label):
         os.environ["REPRO_DISABLE_FAST_SCORE"] = "1" if disable_fast else "0"
         try:
             service = DetectorService(str(ckpt))
-            scores, best = None, float("inf")
-            for _ in range(2):
-                service.clear_cache()     # every rep pays fingerprint+score
-                start = time.perf_counter()
-                scores = service.scores(serve_graph).copy()
-                best = min(best, time.perf_counter() - start)
-            return scores, best
+            # every rep clears the cache first, so each pays fingerprint +
+            # a full scoring pass (the cold-request cost)
+            timing = measure_repeated(
+                lambda: service.scores(serve_graph).copy(), reps=2,
+                setup=service.clear_cache, name=f"serve_cold_{label}")
         finally:
             os.environ.pop("REPRO_DISABLE_FAST_SCORE", None)
+        ledger.record_timing(timing, path=label)
+        return timing
 
-    serve_legacy_scores, serve_legacy = serve_request(disable_fast=True)
-    serve_fast_scores, serve_fast = serve_request(disable_fast=False)
-    assert np.array_equal(serve_legacy_scores, serve_fast_scores)
+    serve_legacy = serve_request(disable_fast=True, label="legacy")
+    serve_fast = serve_request(disable_fast=False, label="fast")
+    assert np.array_equal(serve_legacy.value, serve_fast.value)
 
-    e2e_speedup = legacy_warm / max(fast_warm, 1e-12)
-    serve_speedup = serve_legacy / max(serve_fast, 1e-12)
+    e2e_speedup = legacy_warm.best / max(fast_warm.best, 1e-12)
+    serve_speedup = serve_legacy.best / max(serve_fast.best, 1e-12)
     report = "\n".join([
         f"graph: {graph}",
         "",
         "end-to-end decision_scores (bitwise-identical)",
-        f"  legacy  cold {legacy_cold * 1e3:8.1f} ms   warm "
-        f"{legacy_warm * 1e3:8.1f} ms",
-        f"  fast    cold {fast_cold * 1e3:8.1f} ms   warm "
-        f"{fast_warm * 1e3:8.1f} ms",
+        f"  legacy  cold {legacy_cold.best * 1e3:8.1f} ms   warm "
+        f"{legacy_warm.best * 1e3:8.1f} ms",
+        f"  fast    cold {fast_cold.best * 1e3:8.1f} ms   warm "
+        f"{fast_warm.best * 1e3:8.1f} ms",
         f"  speedup {e2e_speedup:.2f}x warm, "
-        f"{legacy_cold / max(fast_cold, 1e-12):.2f}x cold",
+        f"{legacy_cold.best / max(fast_cold.best, 1e-12):.2f}x cold",
         "",
         "masked-group reconstruction stage (GAT bank, "
         f"g={max(2, int(np.ceil(1.0 / model.config.mask_ratio)))} groups)",
-        f"  sequential {stage_legacy * 1e3:8.1f} ms   batched "
-        f"{stage_fast * 1e3:8.1f} ms   speedup {stage_speedup:.2f}x",
+        f"  sequential {stage_legacy.best * 1e3:8.1f} ms   batched "
+        f"{stage_fast.best * 1e3:8.1f} ms   speedup {stage_speedup:.2f}x",
         "",
         "serve cold request on a fresh graph (checkpoint-loaded model)",
-        f"  legacy {serve_legacy * 1e3:8.1f} ms   fast "
-        f"{serve_fast * 1e3:8.1f} ms   speedup {serve_speedup:.2f}x",
+        f"  legacy {serve_legacy.best * 1e3:8.1f} ms   fast "
+        f"{serve_fast.best * 1e3:8.1f} ms   speedup {serve_speedup:.2f}x",
     ])
     save_and_echo(output_dir, "score_perf", report)
 

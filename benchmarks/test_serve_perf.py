@@ -4,35 +4,43 @@ Not a paper table — this tracks what the persistence subsystem
 (:mod:`repro.serve`) buys over the pre-serve workflow, where every scoring
 request paid a full ``fit()``. The acceptance bar: a warm-cache request
 through :class:`DetectorService` must be measurably (in practice: orders
-of magnitude) faster than refitting from scratch.
+of magnitude) faster than refitting from scratch. Timings land in the
+``serve_perf`` performance ledger.
 """
-
-import time
 
 from conftest import save_and_echo
 
 from repro.core import UMGAD, UMGADConfig
 from repro.datasets import load_dataset
+from repro.obs.bench import BenchmarkRecord
 from repro.serve import DetectorService, run_serve_bench, save_checkpoint
+from repro.utils import measure_repeated
 
 
 def _fit(graph, profile):
     config = UMGADConfig(epochs=profile.umgad_epochs, seed=0)
-    start = time.perf_counter()
-    model = UMGAD(config).fit(graph)
-    return model, time.perf_counter() - start
+    timing = measure_repeated(lambda: UMGAD(config).fit(graph), reps=1,
+                              name="cold_fit")
+    return timing.value, timing
 
 
-def test_warm_cache_beats_cold_fit(profile, output_dir):
+def test_warm_cache_beats_cold_fit(profile, output_dir, ledger):
     dataset = load_dataset("retail", scale=profile.dataset_scale,
                            num_features=profile.num_features,
                            seed=profile.data_seed)
-    model, fit_seconds = _fit(dataset.graph, profile)
+    model, fit_timing = _fit(dataset.graph, profile)
+    ledger.record_timing(fit_timing, epochs=profile.umgad_epochs)
+    fit_seconds = fit_timing.best
     checkpoint = output_dir / "serve_perf_model.npz"
     save_checkpoint(checkpoint, model, graph=dataset.graph)
 
     result = run_serve_bench(checkpoint, dataset.graph, requests=25,
                              fit_seconds=fit_seconds)
+    ledger.add(BenchmarkRecord(
+        name="serve_cold_request", values=(result.cold_seconds,)))
+    ledger.add(BenchmarkRecord(
+        name="serve_warm_request", values=(result.warm_seconds,),
+        meta={"requests": 25}))
 
     report = "\n".join([
         f"graph: {dataset.graph}",
@@ -48,7 +56,7 @@ def test_warm_cache_beats_cold_fit(profile, output_dir):
     assert result.warm_seconds <= result.cold_seconds
 
 
-def test_warm_cache_beats_fresh_scoring_pass(profile, output_dir):
+def test_warm_cache_beats_fresh_scoring_pass(profile, output_dir, ledger):
     """On a graph the model was NOT fitted on, the first request pays a full
     scoring pass; repeats must come from the cache, not recompute."""
     dataset = load_dataset("retail", scale=profile.dataset_scale,
@@ -62,19 +70,18 @@ def test_warm_cache_beats_fresh_scoring_pass(profile, output_dir):
     save_checkpoint(checkpoint, model, graph=dataset.graph)
 
     service = DetectorService(checkpoint)
-    start = time.perf_counter()
-    service.scores(fresh.graph)
-    cold = time.perf_counter() - start
-
-    start = time.perf_counter()
+    cold = measure_repeated(lambda: service.scores(fresh.graph), reps=1,
+                            name="fresh_graph_cold_pass")
     repeats = 25
-    for _ in range(repeats):
-        service.scores(fresh.graph)
-    warm = (time.perf_counter() - start) / repeats
+    warm = measure_repeated(lambda: service.scores(fresh.graph),
+                            reps=repeats, name="fresh_graph_warm_hit")
+    ledger.record_timing(cold)
+    ledger.record_timing(warm)
 
     save_and_echo(
         output_dir, "serve_perf_fresh_graph",
-        f"cold scoring pass {cold * 1e3:.2f} ms, warm cache "
-        f"{warm * 1e3:.3f} ms ({cold / max(warm, 1e-12):.1f}x)")
+        f"cold scoring pass {cold.best * 1e3:.2f} ms, warm cache "
+        f"{warm.mean * 1e3:.3f} ms "
+        f"({cold.best / max(warm.mean, 1e-12):.1f}x)")
     assert service.stats.hits == repeats
-    assert warm < cold
+    assert warm.mean < cold.best

@@ -30,7 +30,9 @@ from repro.core import UMGAD, UMGADConfig
 from repro.datasets import load_dataset
 from repro.detection import BaseDetector
 from repro.graphs import random_multiplex
+from repro.obs.bench import BenchmarkRecord
 from repro.serve import DetectorService, save_checkpoint
+from repro.utils import Timer
 from repro.server import (
     Gateway,
     ServerClient,
@@ -76,7 +78,8 @@ def checkpoint(profile, output_dir):
     return path
 
 
-def test_coalesced_throughput_vs_serial(checkpoint, profile, output_dir):
+def test_coalesced_throughput_vs_serial(checkpoint, profile, output_dir,
+                                        ledger):
     herd_graph = load_dataset("retail", scale=profile.dataset_scale,
                               num_features=profile.num_features,
                               seed=profile.data_seed + 1).graph
@@ -107,14 +110,16 @@ def test_coalesced_throughput_vs_serial(checkpoint, profile, output_dir):
         assert status == 200          # warm the process (JIT-ish numpy
         service.clear_cache()         # caches), then reset
         warmup_passes = service.stats.misses
-        start = time.perf_counter()
+        timer = Timer()
         for graph, body in zip(serial_graphs, serial_bodies):
-            status, decoded = _post_score(server.port, body)
+            with timer.measure("serial_request"):
+                status, decoded = _post_score(server.port, body)
             assert status == 200
             assert decoded["num_nodes"] == graph.num_nodes
-        serial_seconds = time.perf_counter() - start
+        serial_seconds = timer.total("serial_request")
         serial_throughput = SERIAL_REQUESTS / serial_seconds
         serial_passes = service.stats.misses - warmup_passes
+        ledger.record_timing(timer.result("serial_request"))
 
         # --- micro-batched concurrent herd over the same HTTP stack -----
         barrier = threading.Barrier(CONCURRENT_REQUESTS + 1)
@@ -131,11 +136,13 @@ def test_coalesced_throughput_vs_serial(checkpoint, profile, output_dir):
         for thread in threads:
             thread.start()
         barrier.wait(timeout=30.0)
-        start = time.perf_counter()
-        for thread in threads:
-            thread.join(timeout=300.0)
-        concurrent_seconds = time.perf_counter() - start
+        with timer.measure("herd_batch"):
+            for thread in threads:
+                thread.join(timeout=300.0)
+        concurrent_seconds = timer.total("herd_batch")
     concurrent_throughput = CONCURRENT_REQUESTS / concurrent_seconds
+    ledger.record_timing(timer.result("herd_batch"),
+                         requests=CONCURRENT_REQUESTS)
     herd_passes = service.stats.misses - serial_passes - warmup_passes
     speedup = concurrent_throughput / serial_throughput
     batcher = gateway.batcher.stats
@@ -181,7 +188,7 @@ class SlowDetector(BaseDetector):
         return np.linspace(0.0, 1.0, graph.num_nodes)
 
 
-def test_overload_returns_429_and_never_deadlocks(output_dir):
+def test_overload_returns_429_and_never_deadlocks(output_dir, ledger):
     rng = np.random.default_rng(0)
     service = DetectorService(SlowDetector(delay=0.15))
     gateway = Gateway(service, workers=1, max_queue=3, linger_ms=0.0)
@@ -209,6 +216,9 @@ def test_overload_returns_429_and_never_deadlocks(output_dir):
         for thread in threads:
             thread.join(timeout=120.0)
         elapsed = time.perf_counter() - start
+        ledger.add(BenchmarkRecord(
+            name="overload_burst", values=(elapsed,),
+            meta={"requests": len(graphs)}))
 
         # every request got an HTTP answer (no hangs, no dropped sockets)
         assert len(statuses) == len(graphs)

@@ -10,8 +10,6 @@ incremental apply+score must beat that rebuild-and-score path by >= 5x,
 with bitwise-identical fingerprints along the way.
 """
 
-import time
-
 import numpy as np
 
 from conftest import save_and_echo
@@ -19,6 +17,7 @@ from conftest import save_and_echo
 from repro.core import UMGAD, UMGADConfig
 from repro.graphs import MultiplexGraph, RelationGraph, graph_fingerprint, random_multiplex
 from repro.serve import DetectorService
+from repro.utils import Timer
 from repro.stream import (
     AddEdge,
     AddNode,
@@ -76,40 +75,43 @@ def _rebuild_with_immutable_updates(graph, events):
     return MultiplexGraph(x=x, relations=relations)
 
 
-def test_incremental_apply_and_score_beats_rebuild(output_dir):
+def test_incremental_apply_and_score_beats_rebuild(output_dir, ledger):
     graph, model, windows = _base_setup()
+    timer = Timer()
 
     # Streaming path: O(delta) apply, dirty-component fingerprint, score.
     service = DetectorService(model)
     builder = IncrementalGraphBuilder.from_graph(graph)
-    incremental_times, incremental_fps = [], []
+    incremental_fps = []
     for window in windows:
-        start = time.perf_counter()
-        builder.apply(window)
-        snapshot = builder.snapshot()
-        fingerprint = builder.fingerprint()
-        service.scores(snapshot, fingerprint=fingerprint)
-        incremental_times.append(time.perf_counter() - start)
+        with timer.measure("incremental_window"):
+            builder.apply(window)
+            snapshot = builder.snapshot()
+            fingerprint = builder.fingerprint()
+            service.scores(snapshot, fingerprint=fingerprint)
         incremental_fps.append(fingerprint)
 
     # Pre-stream path: rebuild from the accumulated log, rehash, score.
     service2 = DetectorService(model)
-    rebuild_times, rebuild_fps = [], []
+    rebuild_fps = []
     log = []
     for window in windows:
         log.extend(window)
-        start = time.perf_counter()
-        current = _rebuild_with_immutable_updates(graph, log)
-        fingerprint = graph_fingerprint(current)
-        service2.scores(current, fingerprint=fingerprint)
-        rebuild_times.append(time.perf_counter() - start)
+        with timer.measure("rebuild_window"):
+            current = _rebuild_with_immutable_updates(graph, log)
+            fingerprint = graph_fingerprint(current)
+            service2.scores(current, fingerprint=fingerprint)
         rebuild_fps.append(fingerprint)
 
     # Correctness first: both paths must agree on every window's content.
     assert incremental_fps == rebuild_fps
 
-    incremental_ms = 1e3 * float(np.mean(incremental_times))
-    rebuild_ms = 1e3 * float(np.mean(rebuild_times))
+    incremental = timer.result("incremental_window")
+    rebuild = timer.result("rebuild_window")
+    ledger.record_timing(incremental, window=_WINDOW)
+    ledger.record_timing(rebuild, window=_WINDOW)
+    incremental_ms = 1e3 * incremental.mean
+    rebuild_ms = 1e3 * rebuild.mean
     speedup = rebuild_ms / incremental_ms
     report = "\n".join([
         f"graph: {graph}",
@@ -122,32 +124,35 @@ def test_incremental_apply_and_score_beats_rebuild(output_dir):
     assert speedup >= 5.0
 
 
-def test_apply_and_fingerprint_cost_is_delta_bound(output_dir):
+def test_apply_and_fingerprint_cost_is_delta_bound(output_dir, ledger):
     """Even against a *fresh-builder* full-log replay (the fastest possible
     rebuild), maintaining state incrementally wins, and the gap widens as
     the log grows — O(delta) vs O(log)."""
     graph, _model, windows = _base_setup()
+    timer = Timer()
 
     builder = IncrementalGraphBuilder.from_graph(graph)
-    incremental_times = []
     for window in windows:
-        start = time.perf_counter()
-        builder.apply(window)
-        builder.fingerprint()
-        incremental_times.append(time.perf_counter() - start)
+        with timer.measure("apply_fingerprint"):
+            builder.apply(window)
+            builder.fingerprint()
 
-    replay_times = []
     log = []
     for window in windows:
         log.extend(window)
-        start = time.perf_counter()
-        fresh = IncrementalGraphBuilder.from_graph(graph)
-        fresh.apply(log)
-        fresh.fingerprint()
-        replay_times.append(time.perf_counter() - start)
+        with timer.measure("full_log_replay"):
+            fresh = IncrementalGraphBuilder.from_graph(graph)
+            fresh.apply(log)
+            fresh.fingerprint()
 
-    incremental_ms = 1e3 * float(np.mean(incremental_times))
-    replay_ms = 1e3 * float(np.mean(replay_times))
+    incremental = timer.result("apply_fingerprint")
+    replay = timer.result("full_log_replay")
+    ledger.record_timing(incremental, window=_WINDOW)
+    ledger.record_timing(replay, window=_WINDOW)
+    incremental_times = list(incremental.values)
+    replay_times = list(replay.values)
+    incremental_ms = 1e3 * incremental.mean
+    replay_ms = 1e3 * replay.mean
     speedup = replay_ms / incremental_ms
     report = "\n".join([
         f"incremental apply+fingerprint  {incremental_ms:8.3f} ms/window",
@@ -159,4 +164,5 @@ def test_apply_and_fingerprint_cost_is_delta_bound(output_dir):
     save_and_echo(output_dir, "stream_perf_apply_only", report)
     assert speedup >= 3.0
     # the rebuild cost grows with the log; the incremental cost does not
-    assert np.mean(replay_times[-3:]) > np.mean(replay_times[:3])
+    # (medians — a single GC pause must not fake or mask the growth)
+    assert np.median(replay_times[-3:]) > np.median(replay_times[:3])

@@ -229,6 +229,45 @@ class RelationGraph:
         return scatter
 
     # ------------------------------------------------------------------
+    def cache_info(self) -> dict:
+        """Occupancy of the lazy operator caches, for telemetry.
+
+        ``entries`` counts built operators (adjacency, propagators, block
+        propagators, GAT scatters); ``bytes`` sums their array payloads.
+        The base edge list is always resident and excluded — this measures
+        what lazy building has accumulated, the part that grows with the
+        mask-group shapes a serving process has seen.
+        """
+        def _csr_bytes(matrix) -> int:
+            return int(matrix.data.nbytes + matrix.indices.nbytes
+                       + matrix.indptr.nbytes)
+
+        entries = 0
+        total = 0
+        if self._adj is not None:
+            entries += 1
+            total += _csr_bytes(self._adj)
+        for prop in self._sym_prop.values():
+            entries += 1
+            total += _csr_bytes(prop)
+        for prop in self._block_props.values():
+            entries += 1
+            total += _csr_bytes(prop)
+        for scatter in self._gat_scatters.values():
+            entries += 1
+            total += int(scatter.src.nbytes + scatter.dst.nbytes
+                         + scatter.perm.nbytes + scatter.indptr.nbytes
+                         + scatter.indices.nbytes
+                         + scatter.dst_sorted.nbytes)
+        if self._degrees is not None:
+            entries += 1
+            total += int(self._degrees.nbytes)
+        if self._directed is not None:
+            entries += 1
+            total += int(self._directed[0].nbytes
+                         + self._directed[1].nbytes)
+        return {"relation": self.name, "entries": entries, "bytes": total}
+
     def remove_edges(self, edge_idx: np.ndarray) -> "RelationGraph":
         """New graph without the undirected edges at positions ``edge_idx``."""
         mask = np.ones(self.num_edges, dtype=bool)

@@ -11,15 +11,34 @@ layer:
 * :mod:`repro.obs.log` — structured JSONL logging stamped with the
   active trace/span ids;
 * :mod:`repro.obs.promlint` — a strict text-exposition validator used
-  by tests and CI to lint the real ``/metrics`` payload;
+  by tests and CI to lint the real ``/metrics`` payload, plus the shared
+  :func:`parse_families` reader;
 * :mod:`repro.obs.profile` — per-stage cost tables (``REPRO_PROFILE=1``)
-  and span-tree rendering (``repro trace``).
+  and span-tree rendering (``repro trace``);
+* :mod:`repro.obs.bench` — the performance ledger: per-suite benchmark
+  records (median/MAD/peak RSS) with noise-aware regression diffs
+  (``repro bench run/report/diff``);
+* :mod:`repro.obs.runtime` — process telemetry (RSS, GC, threads, FDs)
+  and the low-overhead background :class:`RuntimeSampler` feeding
+  ``/metrics``.
 
 Environment switches: ``REPRO_TRACE=0`` disables tracing process-wide,
 ``REPRO_PROFILE=1`` prints the CLI cost table, ``REPRO_LOG=<path>`` /
 ``REPRO_LOG_LEVEL`` steer the structured logger.
 """
 
+from .bench import (
+    BenchmarkRecord,
+    Comparison,
+    Ledger,
+    LedgerDiff,
+    compare_records,
+    diff_ledgers,
+    environment_fingerprint,
+    load_ledgers,
+    render_diff,
+    render_report,
+)
 from .hist import (
     BATCH_SIZE_BOUNDS,
     DURATION_BOUNDS,
@@ -29,7 +48,18 @@ from .hist import (
 )
 from .log import StructLogger, configure, get_logger
 from .profile import aggregate_spans, render_profile, render_trace_tree
-from .promlint import assert_valid_exposition, validate_exposition
+from .promlint import (
+    assert_valid_exposition,
+    parse_families,
+    validate_exposition,
+)
+from .runtime import (
+    RuntimeSample,
+    RuntimeSampler,
+    capture_sample,
+    peak_rss_bytes,
+    rss_bytes,
+)
 from .trace import (
     NOOP_SPAN,
     Span,
@@ -50,9 +80,15 @@ from .trace import (
 __all__ = [
     "BATCH_SIZE_BOUNDS",
     "DURATION_BOUNDS",
+    "BenchmarkRecord",
+    "Comparison",
     "Histogram",
     "HistogramSnapshot",
+    "Ledger",
+    "LedgerDiff",
     "NOOP_SPAN",
+    "RuntimeSample",
+    "RuntimeSampler",
     "Span",
     "StructLogger",
     "Trace",
@@ -60,14 +96,24 @@ __all__ = [
     "aggregate_spans",
     "annotate",
     "assert_valid_exposition",
+    "capture_sample",
+    "compare_records",
     "configure",
     "current_span",
     "current_trace",
+    "diff_ledgers",
+    "environment_fingerprint",
     "get_logger",
+    "load_ledgers",
     "log_spaced_bounds",
     "new_trace_id",
+    "parse_families",
+    "peak_rss_bytes",
+    "render_diff",
     "render_profile",
+    "render_report",
     "render_trace_tree",
+    "rss_bytes",
     "sanitize_trace_id",
     "set_tracing",
     "span",

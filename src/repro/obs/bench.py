@@ -1,0 +1,363 @@
+"""Performance ledger: versioned benchmark records + noise-aware diffs.
+
+Every ``benchmarks/test_*_perf.py`` timing lands here as a
+:class:`BenchmarkRecord` (repetition values, median/MAD, peak RSS) inside
+a per-suite :class:`Ledger` serialised to
+``benchmarks/output/ledger/<suite>.json``. The ledger is what the
+``repro bench`` CLI reports on and diffs: two runs of the same suite can
+be compared with *noise-aware* regression detection so CI can gate on
+"did this PR slow anything down" without flapping on timer jitter.
+
+The regression rule is deliberately conservative — a benchmark is only a
+``regression`` when **both** hold:
+
+1. the median shifted by more than ``threshold`` (relative, default 25%);
+2. the MAD intervals are disjoint: ``new_median - k*new_mad >
+   base_median + k*base_mad`` (``k`` = ``mad_k``, default 3).
+
+A large shift with overlapping intervals is ``noise`` (the measurements
+cannot distinguish the runs); the symmetric condition yields
+``improvement``. Benchmarks present in only one ledger are reported as
+``added``/``removed``, never as errors — suites grow and shrink across
+PRs and that is not a regression.
+
+Pure python + stdlib json on purpose: the diff tool has to work in a CI
+step that never imports numpy.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..utils.timer import TimingResult, median_mad
+
+SCHEMA_VERSION = 1
+
+#: relative median shift below which we never flag (25%)
+DEFAULT_THRESHOLD = 0.25
+#: MAD multiplier defining each run's noise interval
+DEFAULT_MAD_K = 3.0
+
+
+def environment_fingerprint(dtype: Optional[str] = None) -> dict:
+    """Versions + hardware context a ledger was recorded under."""
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except ImportError:  # pragma: no cover - diff-only environments
+        numpy_version = None
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "dtype": dtype or os.environ.get("REPRO_DTYPE", "float64"),
+    }
+
+
+@dataclass(frozen=True)
+class BenchmarkRecord:
+    """One benchmark's ledger entry: raw reps + robust summary + RSS."""
+
+    name: str
+    values: Tuple[float, ...]
+    peak_rss_bytes: Optional[int] = None
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.values:
+            raise ValueError(f"benchmark {self.name!r} has no values")
+
+    @property
+    def reps(self) -> int:
+        return len(self.values)
+
+    @property
+    def median(self) -> float:
+        return median_mad(self.values)[0]
+
+    @property
+    def mad(self) -> float:
+        return median_mad(self.values)[1]
+
+    def to_dict(self) -> dict:
+        med, mad = median_mad(self.values)
+        payload = {
+            "values": list(self.values),
+            "reps": self.reps,
+            "median": med,
+            "mad": mad,
+        }
+        if self.peak_rss_bytes is not None:
+            payload["peak_rss_bytes"] = int(self.peak_rss_bytes)
+        if self.meta:
+            payload["meta"] = dict(self.meta)
+        return payload
+
+    @classmethod
+    def from_dict(cls, name: str, data: dict) -> "BenchmarkRecord":
+        return cls(name=name,
+                   values=tuple(float(v) for v in data["values"]),
+                   peak_rss_bytes=data.get("peak_rss_bytes"),
+                   meta=dict(data.get("meta", {})))
+
+    @classmethod
+    def from_timing(cls, timing: TimingResult,
+                    peak_rss_bytes: Optional[int] = None,
+                    **meta) -> "BenchmarkRecord":
+        if timing.warmup:
+            meta.setdefault("warmup", timing.warmup)
+        return cls(name=timing.name, values=timing.values,
+                   peak_rss_bytes=peak_rss_bytes, meta=meta)
+
+
+@dataclass
+class Ledger:
+    """All benchmark records of one suite run, with environment context."""
+
+    suite: str
+    environment: dict = field(default_factory=environment_fingerprint)
+    created_unix: float = field(default_factory=time.time)
+    benchmarks: Dict[str, BenchmarkRecord] = field(default_factory=dict)
+
+    def add(self, record: BenchmarkRecord) -> BenchmarkRecord:
+        self.benchmarks[record.name] = record
+        return record
+
+    def record_timing(self, timing: TimingResult,
+                      peak_rss_bytes: Optional[int] = None,
+                      **meta) -> BenchmarkRecord:
+        return self.add(BenchmarkRecord.from_timing(
+            timing, peak_rss_bytes=peak_rss_bytes, **meta))
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA_VERSION,
+            "suite": self.suite,
+            "created_unix": self.created_unix,
+            "environment": dict(self.environment),
+            "benchmarks": {name: record.to_dict()
+                           for name, record in sorted(self.benchmarks.items())},
+        }
+
+    def save(self, directory: Union[str, Path]) -> Path:
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{self.suite}.json"
+        path.write_text(json.dumps(self.to_dict(), indent=2,
+                                   sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Ledger":
+        schema = data.get("schema")
+        if schema != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported ledger schema {schema!r} "
+                f"(expected {SCHEMA_VERSION})")
+        ledger = cls(suite=data["suite"],
+                     environment=dict(data.get("environment", {})),
+                     created_unix=float(data.get("created_unix", 0.0)))
+        for name, record in data.get("benchmarks", {}).items():
+            ledger.add(BenchmarkRecord.from_dict(name, record))
+        return ledger
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Ledger":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+def load_ledgers(directory: Union[str, Path]) -> Dict[str, Ledger]:
+    """All ``<suite>.json`` ledgers in ``directory``, keyed by suite."""
+    directory = Path(directory)
+    ledgers: Dict[str, Ledger] = {}
+    if not directory.is_dir():
+        return ledgers
+    for path in sorted(directory.glob("*.json")):
+        ledger = Ledger.load(path)
+        ledgers[ledger.suite] = ledger
+    return ledgers
+
+
+# ---------------------------------------------------------------------------
+# diffing
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One benchmark's verdict when diffing two ledgers."""
+
+    name: str
+    verdict: str                 # ok | noise | regression | improvement
+    base_median: float
+    new_median: float
+    base_mad: float
+    new_mad: float
+
+    @property
+    def ratio(self) -> float:
+        if self.base_median <= 0:
+            return float("inf") if self.new_median > 0 else 1.0
+        return self.new_median / self.base_median
+
+    def describe(self) -> str:
+        return (f"{self.name}: {self.verdict} "
+                f"({_fmt_seconds(self.base_median)} -> "
+                f"{_fmt_seconds(self.new_median)}, x{self.ratio:.2f})")
+
+
+def compare_records(base: BenchmarkRecord, new: BenchmarkRecord, *,
+                    threshold: float = DEFAULT_THRESHOLD,
+                    mad_k: float = DEFAULT_MAD_K) -> Comparison:
+    """Noise-aware verdict for one benchmark present in both ledgers."""
+    base_m, base_mad = median_mad(base.values)
+    new_m, new_mad = median_mad(new.values)
+    verdict = "ok"
+    if base_m > 0:
+        shift = (new_m - base_m) / base_m
+        if shift > threshold:
+            slower = new_m - mad_k * new_mad > base_m + mad_k * base_mad
+            verdict = "regression" if slower else "noise"
+        elif shift < -threshold / (1.0 + threshold):
+            # symmetric in ratio space: x1.25 up mirrors /1.25 down
+            faster = new_m + mad_k * new_mad < base_m - mad_k * base_mad
+            verdict = "improvement" if faster else "noise"
+    elif new_m > 0:
+        verdict = "regression"
+    return Comparison(name=base.name, verdict=verdict,
+                      base_median=base_m, new_median=new_m,
+                      base_mad=base_mad, new_mad=new_mad)
+
+
+@dataclass
+class LedgerDiff:
+    """Full diff of two ledgers of the same suite."""
+
+    suite: str
+    comparisons: List[Comparison] = field(default_factory=list)
+    added: List[str] = field(default_factory=list)
+    removed: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[Comparison]:
+        return [c for c in self.comparisons if c.verdict == "regression"]
+
+    @property
+    def improvements(self) -> List[Comparison]:
+        return [c for c in self.comparisons if c.verdict == "improvement"]
+
+    @property
+    def clean(self) -> bool:
+        return not self.regressions
+
+
+def diff_ledgers(base: Ledger, new: Ledger, *,
+                 threshold: float = DEFAULT_THRESHOLD,
+                 mad_k: float = DEFAULT_MAD_K) -> LedgerDiff:
+    """Compare two runs benchmark-by-benchmark.
+
+    Keys present only in ``new`` are ``added``; only in ``base``,
+    ``removed`` — informational, never a failure.
+    """
+    diff = LedgerDiff(suite=new.suite or base.suite)
+    base_keys = set(base.benchmarks)
+    new_keys = set(new.benchmarks)
+    diff.added = sorted(new_keys - base_keys)
+    diff.removed = sorted(base_keys - new_keys)
+    for name in sorted(base_keys & new_keys):
+        diff.comparisons.append(
+            compare_records(base.benchmarks[name], new.benchmarks[name],
+                            threshold=threshold, mad_k=mad_k))
+    return diff
+
+
+# ---------------------------------------------------------------------------
+# rendering
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f}ms"
+    return f"{seconds * 1e6:.1f}us"
+
+
+def _fmt_bytes(count: Optional[int]) -> str:
+    if count is None:
+        return "-"
+    value = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024.0 or unit == "GiB":
+            return f"{value:.1f}{unit}"
+        value /= 1024.0
+    return f"{value:.1f}GiB"   # pragma: no cover - loop always returns
+
+
+def render_report(ledgers: Sequence[Ledger]) -> str:
+    """Human-readable table of one or more suite ledgers."""
+    lines: List[str] = []
+    for ledger in ledgers:
+        env = ledger.environment
+        lines.append(f"suite {ledger.suite}  "
+                     f"(python {env.get('python', '?')}, "
+                     f"numpy {env.get('numpy', '?')}, "
+                     f"cpus {env.get('cpu_count', '?')}, "
+                     f"dtype {env.get('dtype', '?')})")
+        width = max([len("benchmark")]
+                    + [len(name) for name in ledger.benchmarks])
+        lines.append(f"  {'benchmark'.ljust(width)}  "
+                     f"{'median':>10}  {'mad':>10}  {'reps':>4}  "
+                     f"{'peak rss':>10}")
+        for name, record in sorted(ledger.benchmarks.items()):
+            lines.append(
+                f"  {name.ljust(width)}  "
+                f"{_fmt_seconds(record.median):>10}  "
+                f"{_fmt_seconds(record.mad):>10}  "
+                f"{record.reps:>4}  "
+                f"{_fmt_bytes(record.peak_rss_bytes):>10}")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def render_diff(diff: LedgerDiff) -> str:
+    """Human-readable diff summary (what ``repro bench diff`` prints)."""
+    lines = [f"suite {diff.suite}: "
+             f"{len(diff.comparisons)} compared, "
+             f"{len(diff.regressions)} regression(s), "
+             f"{len(diff.improvements)} improvement(s), "
+             f"{len(diff.added)} added, {len(diff.removed)} removed"]
+    for comparison in diff.comparisons:
+        marker = {"regression": "!", "improvement": "+",
+                  "noise": "~"}.get(comparison.verdict, " ")
+        lines.append(f"  {marker} {comparison.describe()}")
+    for name in diff.added:
+        lines.append(f"  A {name}: added (no baseline)")
+    for name in diff.removed:
+        lines.append(f"  R {name}: removed (present only in baseline)")
+    return "\n".join(lines) + "\n"
+
+
+__all__ = [
+    "DEFAULT_MAD_K",
+    "DEFAULT_THRESHOLD",
+    "BenchmarkRecord",
+    "Comparison",
+    "Ledger",
+    "LedgerDiff",
+    "SCHEMA_VERSION",
+    "compare_records",
+    "diff_ledgers",
+    "environment_fingerprint",
+    "load_ledgers",
+    "render_diff",
+    "render_report",
+]

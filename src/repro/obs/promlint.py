@@ -19,10 +19,19 @@ Checks applied:
   and sample values parse as floats (``+Inf``/``-Inf``/``NaN`` allowed);
 * no duplicate sample (same name, same label set);
 * counters end in ``_total``;
+* unit suffixes: the ``_total`` suffix is reserved for counters (a gauge
+  or histogram named ``*_total`` is flagged), and family names must not
+  end in a non-base unit (``_ms``, ``_kb``, ``_percent``, … — Prometheus
+  wants base units: ``_seconds``, ``_bytes``, ``_ratio``); for counters
+  the stem before ``_total`` is checked;
 * histograms: every series carries ``le``, includes the ``+Inf`` bucket,
   bucket counts are non-decreasing in ``le``, ``_count`` equals the
   ``+Inf`` bucket, and ``_sum``/``_count`` exist — all checked per
   distinct non-``le`` label set.
+
+:func:`parse_families` exposes the same parser as a structured reader so
+clients (``ServerClient.metrics_parsed``) can consume ``/metrics``
+without a second parser implementation.
 """
 
 from __future__ import annotations
@@ -134,15 +143,9 @@ def _base_name(name: str, families: Dict[str, _Family]) -> str:
     return name
 
 
-def validate_exposition(text: str,
-                        require_total_suffix: bool = True) -> List[str]:
-    """Lint ``text``; returns a list of problems (empty when clean)."""
+def _parse_exposition(text: str) -> Tuple[Dict[str, _Family], List[str]]:
+    """Parse ``text`` into families, collecting line-level problems."""
     errors: List[str] = []
-    if not text:
-        return ["exposition is empty"]
-    if not text.endswith("\n"):
-        errors.append("exposition must end with a newline")
-
     families: Dict[str, _Family] = {}
     seen_samples: set = set()
 
@@ -232,6 +235,18 @@ def validate_exposition(text: str,
         if family.first_sample_line is None:
             family.first_sample_line = line_no
         family.samples.append((name, label_key, value, line_no))
+    return families, errors
+
+
+def validate_exposition(text: str,
+                        require_total_suffix: bool = True,
+                        check_units: bool = True) -> List[str]:
+    """Lint ``text``; returns a list of problems (empty when clean)."""
+    if not text:
+        return ["exposition is empty"]
+    families, errors = _parse_exposition(text)
+    if not text.endswith("\n"):
+        errors.insert(0, "exposition must end with a newline")
 
     # ------------------------------ family-level checks -------------------
     for name, family in sorted(families.items()):
@@ -253,8 +268,39 @@ def validate_exposition(text: str,
                     errors.append(
                         f"line {line_no}: counter {sample_name} has "
                         f"non-monotonic value {value}")
+        if check_units:
+            errors.extend(_check_units(name, family))
         if family.type == "histogram":
             errors.extend(_check_histogram(name, family))
+    return errors
+
+
+#: final name tokens Prometheus considers non-base units — metrics should
+#: use _seconds / _bytes / _ratio instead
+_NON_BASE_UNITS = frozenset({
+    "ms", "us", "ns", "milliseconds", "microseconds", "nanoseconds",
+    "minutes", "hours", "days",
+    "kb", "mb", "gb", "kib", "mib", "gib",
+    "kilobytes", "megabytes", "gigabytes",
+    "percent", "percentage",
+})
+
+
+def _check_units(name: str, family: _Family) -> List[str]:
+    """Unit-suffix conventions: ``_total`` reserved, base units only."""
+    errors: List[str] = []
+    stem = name
+    if name.endswith("_total"):
+        if family.type is not None and family.type != "counter":
+            errors.append(
+                f"family {name}: _total suffix is reserved for counters "
+                f"(family is a {family.type})")
+        stem = name[:-len("_total")]
+    token = stem.rsplit("_", 1)[-1]
+    if token in _NON_BASE_UNITS:
+        errors.append(
+            f"family {name}: non-base unit suffix '_{token}' (use base "
+            f"units: _seconds, _bytes, _ratio)")
     return errors
 
 
@@ -315,14 +361,47 @@ def _check_histogram(name: str, family: _Family) -> List[str]:
     return errors
 
 
+def parse_families(text: str) -> Dict[str, dict]:
+    """Parse an exposition into ``{family: {type, help, samples}}``.
+
+    The structured-read companion to :func:`validate_exposition` (same
+    parser): each family dict carries ``type``/``help`` (may be ``None``)
+    and ``samples`` — a list of ``{"name", "labels", "value"}`` dicts in
+    document order, with histogram ``_bucket``/``_sum``/``_count``
+    samples grouped under their base family. Raises ``ValueError`` when
+    the payload has syntax-level problems (family-level lint findings do
+    not block parsing — use :func:`validate_exposition` for those).
+    """
+    families, errors = _parse_exposition(text)
+    if errors:
+        raise ValueError(
+            "unparseable exposition:\n  " + "\n  ".join(errors))
+    parsed: Dict[str, dict] = {}
+    for name, family in sorted(families.items()):
+        parsed[name] = {
+            "name": name,
+            "type": family.type,
+            "help": family.help,
+            "samples": [
+                {"name": sample_name, "labels": dict(label_key),
+                 "value": value}
+                for sample_name, label_key, value, _line in family.samples
+            ],
+        }
+    return parsed
+
+
 def assert_valid_exposition(text: str,
-                            require_total_suffix: bool = True) -> None:
+                            require_total_suffix: bool = True,
+                            check_units: bool = True) -> None:
     """Raise ``AssertionError`` listing every problem found in ``text``."""
     problems = validate_exposition(
-        text, require_total_suffix=require_total_suffix)
+        text, require_total_suffix=require_total_suffix,
+        check_units=check_units)
     if problems:
         raise AssertionError(
             "invalid Prometheus exposition:\n  " + "\n  ".join(problems))
 
 
-__all__ = ["assert_valid_exposition", "validate_exposition"]
+__all__ = ["assert_valid_exposition", "parse_families",
+           "validate_exposition"]

@@ -301,6 +301,33 @@ class DetectorService:
         with self._lock:
             return len(self._cache)
 
+    def cache_info(self) -> dict:
+        """Occupancy of the result cache, for telemetry.
+
+        ``bytes`` counts the numpy payloads retained per entry (scores,
+        ranking order, and the cached graph's attribute matrix, edge
+        lists, and lazily-built relation operator caches) — the memory the
+        LRU actually pins.
+        """
+        with self._lock:
+            entries = len(self._cache)
+            total = 0
+            for entry in self._cache.values():
+                total += int(entry.scores.nbytes)
+                if entry.order is not None:
+                    total += int(entry.order.nbytes)
+                graph = entry.graph
+                total += int(graph.x.nbytes)
+                for _name, relation in graph:
+                    total += int(relation.edges.nbytes)
+                    total += relation.cache_info()["bytes"]
+            return {
+                "entries": entries,
+                "capacity": self.cache_size,
+                "bytes": total,
+                "inflight": len(self._inflight),
+            }
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------

@@ -20,7 +20,10 @@ JSON API:
   score serialisation: HTTP-served scores are bitwise-identical to
   in-process ``score_graph`` output);
 * :mod:`repro.server.metrics` — Prometheus text exposition (counters,
-  gauges and latency histograms).
+  gauges and latency histograms);
+* :mod:`repro.server.slo` — rolling-window p50/p99 latency + error-rate
+  SLO tracking per endpoint (``slo_*`` burn gauges at ``/metrics``,
+  ``GET /healthz?deep=1`` component health, 503 on sustained burn).
 
 Observability (:mod:`repro.obs`) is threaded through every layer: traced
 requests echo ``X-Repro-Trace-Id``, completed traces are served at
@@ -36,11 +39,13 @@ from .client import ServerClient, ServerClientError
 from .gateway import API_VERSION, Gateway, GatewayError, SERVER_NAME
 from .metrics import MetricsRegistry
 from .protocol import ProtocolError, graph_from_payload, graph_payload
+from .slo import EndpointStatus, SLOObjective, SLOTracker, WindowSummary
 
 __all__ = [
     "API_VERSION",
     "AdmissionError",
     "BatcherStats",
+    "EndpointStatus",
     "Gateway",
     "GatewayError",
     "MetricsRegistry",
@@ -48,10 +53,13 @@ __all__ = [
     "ProtocolError",
     "ReproServer",
     "SERVER_NAME",
+    "SLOObjective",
+    "SLOTracker",
     "ServerClient",
     "ServerClientError",
     "ServerThread",
     "TRACE_HEADER",
+    "WindowSummary",
     "graph_from_payload",
     "graph_payload",
     "make_server",

@@ -10,7 +10,9 @@ Endpoints::
     POST /v1/events                    stream events -> window reports + alerts
     GET  /v1/models                    registry listing
     POST /v1/models/{name}/activate    hot-swap the served checkpoint
-    GET  /healthz                      liveness + basic state
+    GET  /healthz                      liveness + SLO rollup (?deep=1 for
+                                       per-component detail; 503 on
+                                       sustained SLO burn)
     GET  /metrics                      Prometheus text exposition
     GET  /v1/traces                    recently completed request traces
 
@@ -208,7 +210,10 @@ class ServerHandler(BaseHTTPRequestHandler):
         parsed = urlparse(self.path)
         path = parsed.path
         if path == "/healthz":
-            self._dispatch("healthz", lambda: (200, self.gateway.health()))
+            query = parse_qs(parsed.query)
+            deep = query.get("deep", ["0"])[0] not in ("0", "", "false")
+            self._dispatch("healthz",
+                           lambda: self._health_response(deep))
         elif path == "/metrics":
             try:
                 text = self.gateway.metrics_text()
@@ -230,6 +235,13 @@ class ServerHandler(BaseHTTPRequestHandler):
         else:
             self._send_error_json(404, f"no such endpoint: GET {path}",
                                   "unknown")
+
+    def _health_response(self, deep: bool) -> Tuple[int, dict]:
+        """``/healthz`` [+ ``?deep=1``]: 503 once the SLO burn sustains —
+        load balancers should stop sending traffic to a burning instance."""
+        payload = self.gateway.health(deep=deep)
+        status = 503 if payload.get("status") == "failing" else 200
+        return status, payload
 
     def _traces_response(self, query: dict) -> dict:
         last = query.get("last", [None])[0]

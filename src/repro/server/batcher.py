@@ -126,10 +126,15 @@ class MicroBatcher:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         self.service = service
+        self.workers = int(workers)
         self.max_queue = int(max_queue)
         self.max_batch = int(max_batch)
         self._linger = float(linger_ms) / 1000.0
         self.stats = BatcherStats()
+        #: cumulative wall seconds workers spent processing groups (linger
+        #: included — a lingering worker is occupied); feeds the
+        #: utilization gauge: busy_seconds / (workers * uptime)
+        self._busy_seconds = 0.0
         #: seconds between a request's admission and its batch starting
         self.queue_wait = Histogram(DURATION_BOUNDS)
         #: requests answered per scoring pass
@@ -158,6 +163,12 @@ class MicroBatcher:
     def closed(self) -> bool:
         with self._lock:
             return self._closed
+
+    @property
+    def busy_seconds(self) -> float:
+        """Cumulative wall seconds workers spent on batch groups."""
+        with self._lock:
+            return self._busy_seconds
 
     # ------------------------------------------------------------------
     def submit(self, graph: MultiplexGraph,
@@ -212,6 +223,7 @@ class MicroBatcher:
             group = self._queue.get()
             if group is None:
                 return
+            work_started = time.monotonic()
             # Hold the group open until its linger deadline so concurrent
             # requests can still join; joiners append under the lock. When
             # the service is already warm for this fingerprint (cached, in
@@ -252,6 +264,7 @@ class MicroBatcher:
                 with self._lock:
                     self.stats.failed += len(futures)
                     self._pending -= len(futures)
+                    self._busy_seconds += time.monotonic() - work_started
                 for future in futures:
                     future.obs_batch = batch_info
                     future.set_exception(error)
@@ -262,6 +275,7 @@ class MicroBatcher:
                     self.stats.largest_batch = max(self.stats.largest_batch,
                                                    len(futures))
                     self._pending -= len(futures)
+                    self._busy_seconds += time.monotonic() - work_started
                 for future in futures:
                     future.obs_batch = batch_info
                     future.set_result(scores)

@@ -51,6 +51,8 @@ class ServerClient:
         self.last_headers: Dict[str, str] = {}
         #: server trace id of the most recent request, if traced
         self.last_trace_id: Optional[str] = None
+        #: HTTP status of the most recent request
+        self.last_status: Optional[int] = None
         self._connection: Optional[http.client.HTTPConnection] = None
 
     # ------------------------------------------------------------------
@@ -73,7 +75,8 @@ class ServerClient:
 
     def _request(self, method: str, path: str,
                  payload: Optional[dict] = None,
-                 trace_id: Optional[str] = None):
+                 trace_id: Optional[str] = None,
+                 accept_statuses: tuple = ()):
         body = None
         headers = {"Accept": "application/json"}
         if trace_id is not None:
@@ -89,6 +92,7 @@ class ServerClient:
             content_type = response.headers.get("Content-Type", "")
             self.last_headers = dict(response.headers.items())
             self.last_trace_id = response.headers.get(TRACE_HEADER)
+            self.last_status = status
             raw = response.read()
         except (http.client.HTTPException, OSError):
             # A dead keep-alive connection is not retryable mid-request;
@@ -99,7 +103,7 @@ class ServerClient:
             data = json.loads(raw)
         else:
             data = raw.decode("utf-8")
-        if status >= 400:
+        if status >= 400 and status not in accept_statuses:
             message = data.get("error", str(data)) \
                 if isinstance(data, dict) else str(data)
             raise ServerClientError(status, message,
@@ -166,9 +170,32 @@ class ServerClient:
         """GET /healthz."""
         return self._request("GET", "/healthz")
 
+    def healthz(self, deep: bool = False) -> dict:
+        """GET /healthz [?deep=1] — returns the payload even on 503.
+
+        A 503 here is the health check *working* (sustained SLO burn, see
+        the payload's ``status`` field), not a transport failure, so it is
+        surfaced as data rather than a raised :class:`ServerClientError`;
+        check ``client.last_status`` or ``payload["status"]``.
+        """
+        path = "/healthz?deep=1" if deep else "/healthz"
+        return self._request("GET", path, accept_statuses=(503,))
+
     def metrics(self) -> str:
         """GET /metrics (raw Prometheus text)."""
         return self._request("GET", "/metrics")
+
+    def metrics_parsed(self) -> Dict[str, dict]:
+        """GET /metrics parsed into family dicts.
+
+        Reuses the promlint parser: ``{family: {"type", "help",
+        "samples": [{"name", "labels", "value"}, ...]}}``, histogram
+        ``_bucket``/``_sum``/``_count`` samples grouped under their base
+        family.
+        """
+        from ..obs.promlint import parse_families
+
+        return parse_families(self.metrics())
 
     def traces(self, last: Optional[int] = None,
                trace_id: Optional[str] = None) -> dict:

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional
 from ..graphs.io import graph_fingerprint
 from ..graphs.multiplex import MultiplexGraph
 from ..obs.hist import DURATION_BOUNDS, Histogram
+from ..obs.runtime import RuntimeSampler
 from ..obs.trace import TraceStore, annotate, span
 from ..serve.registry import ModelRegistry
 from ..serve.service import DetectorService, ServiceError
@@ -37,6 +38,12 @@ from .protocol import (
     parse_nodes,
     score_response,
 )
+from .slo import SLOObjective, SLOTracker
+
+#: endpoints whose latency burns the SLO — infrastructure endpoints
+#: (metrics scrapes, health probes) are excluded by listing what counts
+SLO_ENDPOINTS = frozenset({"score", "events", "models", "activate",
+                           "traces"})
 
 SERVER_NAME = "repro-server"
 API_VERSION = "v1"
@@ -74,6 +81,15 @@ class Gateway:
         gives up with a 503.
     window / stride / top_k / psi_threshold / jump_sigma:
         Forwarded to the :class:`StreamMonitor` (first events request).
+    slo_window / slo_p99_seconds / slo_error_ratio / slo_sustain /
+    slo_min_samples:
+        The per-endpoint SLO: tumbling windows of ``slo_window`` requests
+        are judged against the p99/error objectives; ``slo_sustain``
+        consecutive violating windows flip ``/healthz`` to 503
+        (``slo_min_samples`` gates the live compliance judgement).
+    sample_interval:
+        Seconds between background process-telemetry samples (RSS, GC,
+        FDs) feeding ``/metrics``.
     """
 
     def __init__(self, service: DetectorService, *,
@@ -85,7 +101,11 @@ class Gateway:
                  request_timeout: float = 60.0,
                  window: int = 500, stride: Optional[int] = None,
                  top_k: int = 10, psi_threshold: float = 0.25,
-                 jump_sigma: float = 6.0, trace_capacity: int = 128):
+                 jump_sigma: float = 6.0, trace_capacity: int = 128,
+                 slo_window: int = 100, slo_p99_seconds: float = 2.5,
+                 slo_error_ratio: float = 0.02, slo_sustain: int = 2,
+                 slo_min_samples: Optional[int] = None,
+                 sample_interval: float = 5.0):
         self.service = service
         self.registry = registry
         self.active_model = active_model
@@ -106,6 +126,14 @@ class Gateway:
         self._hist_lock = threading.Lock()
         self._endpoint_hist: Dict[str, Histogram] = {}
         self._stage_hist: Dict[str, Histogram] = {}
+        #: per-endpoint rolling/tumbling SLO bookkeeping (healthz + /metrics)
+        self.slo = SLOTracker(
+            window=slo_window,
+            objective=SLOObjective(p99_seconds=slo_p99_seconds,
+                                   error_ratio=slo_error_ratio),
+            sustain=slo_sustain, min_samples=slo_min_samples)
+        #: background process-telemetry sampler (RSS/GC/threads/FDs)
+        self.sampler = RuntimeSampler(interval=sample_interval).start()
         self._started = time.monotonic()
 
     # ------------------------------------------------------------------
@@ -116,7 +144,9 @@ class Gateway:
         """Count one answered request (called by the HTTP handler).
 
         ``seconds`` — the request's wall duration — additionally feeds the
-        per-endpoint latency histogram exported at ``/metrics``.
+        per-endpoint latency histogram exported at ``/metrics`` and the
+        SLO tracker (server faults — status >= 500 — burn the error
+        budget; 4xx is load shedding doing its job).
         """
         with self._counter_lock:
             key = (endpoint, int(status))
@@ -128,6 +158,9 @@ class Gateway:
                     hist = self._endpoint_hist[endpoint] = \
                         Histogram(DURATION_BOUNDS)
             hist.observe(seconds)
+            if endpoint in SLO_ENDPOINTS:
+                self.slo.observe(endpoint, seconds,
+                                 error=int(status) >= 500)
 
     def observe_trace(self, payload: dict) -> None:
         """Fold one completed trace's span durations into the per-stage
@@ -351,15 +384,51 @@ class Gateway:
     # ------------------------------------------------------------------
     # GET /healthz + GET /metrics
     # ------------------------------------------------------------------
-    def health(self) -> dict:
-        return {
-            "status": "ok",
+    def health(self, deep: bool = False) -> dict:
+        """``GET /healthz`` payload; ``deep=True`` adds per-component
+        status (``?deep=1``). ``status`` rolls up the SLO tracker —
+        ``failing`` (sustained burn) makes the HTTP layer answer 503."""
+        payload = {
+            "status": self.slo.status(),
             "server": SERVER_NAME,
             "api": API_VERSION,
             "detector": type(self.service.detector).__name__,
             "active_model": self.active_model,
             "uptime_seconds": self.uptime_seconds,
             "queue_depth": self.batcher.queue_depth,
+        }
+        if deep:
+            payload["components"] = self._component_health()
+        return payload
+
+    def _component_health(self) -> dict:
+        """Per-component deep-health detail (``/healthz?deep=1``)."""
+        stats = self.service.stats
+        cache = self.service.cache_info()
+        trained = self.service.trained_fingerprint
+        uptime = self.uptime_seconds
+        busy = self.batcher.busy_seconds
+        capacity = self.batcher.workers * uptime
+        sample = self.sampler.refresh()   # health wants fresh RSS, not stale
+        return {
+            "service": {
+                "warm": trained is not None and self.service.is_warm(trained),
+                "cache_entries": cache["entries"],
+                "cache_capacity": cache["capacity"],
+                "cache_bytes": cache["bytes"],
+                "inflight": cache["inflight"],
+                "hit_rate": stats.hit_rate,
+            },
+            "batcher": {
+                "queue_depth": self.batcher.queue_depth,
+                "max_queue": self.batcher.max_queue,
+                "workers": self.batcher.workers,
+                "busy_seconds": busy,
+                "utilization": busy / capacity if capacity > 0 else 0.0,
+                "closed": self.batcher.closed,
+            },
+            "runtime": sample.to_dict(),
+            "slo": self.slo.snapshot(),
         }
 
     def metrics_text(self) -> str:
@@ -454,11 +523,141 @@ class Gateway:
                 "batcher_batch_size",
                 "Requests answered per scoring pass.",
                 self.batcher.batch_sizes)
+        self._render_runtime_metrics(registry)
+        self._render_cache_metrics(registry)
+        self._render_slo_metrics(registry)
         return registry.render()
+
+    def _render_runtime_metrics(self, registry: MetricsRegistry) -> None:
+        """Process gauges from the background sampler (RSS/GC/threads/FDs)."""
+        sample = self.sampler.latest()
+        if sample.rss_bytes is not None:
+            registry.gauge("process_resident_memory_bytes",
+                           "Resident set size (/proc/self/statm).",
+                           sample.rss_bytes)
+        if sample.peak_rss_bytes is not None:
+            registry.gauge("process_peak_resident_memory_bytes",
+                           "Peak resident set size (getrusage ru_maxrss).",
+                           sample.peak_rss_bytes)
+        if sample.open_fds is not None:
+            registry.gauge("process_open_fds",
+                           "Open file descriptors (/proc/self/fd).",
+                           sample.open_fds)
+        registry.gauge("process_threads",
+                       "Live python threads (threading.active_count).",
+                       sample.threads)
+        if sample.gc_stats:
+            registry.add(
+                "python_gc_collections_total", "counter",
+                "GC collections run, by generation.",
+                [({"generation": str(gen)}, stat["collections"])
+                 for gen, stat in enumerate(sample.gc_stats)])
+            registry.add(
+                "python_gc_collected_objects_total", "counter",
+                "Objects reclaimed by the GC, by generation.",
+                [({"generation": str(gen)}, stat["collected"])
+                 for gen, stat in enumerate(sample.gc_stats)])
+        registry.counter("runtime_samples_total",
+                         "Background process-telemetry samples captured.",
+                         self.sampler.samples_taken)
+        registry.counter("runtime_sample_seconds_total",
+                         "Wall seconds spent capturing runtime samples.",
+                         self.sampler.sample_seconds)
+
+    def _render_cache_metrics(self, registry: MetricsRegistry) -> None:
+        """Service result-cache and per-relation operator-cache occupancy."""
+        cache = self.service.cache_info()
+        registry.gauge("service_cache_entries",
+                       "Graphs resident in the DetectorService LRU cache.",
+                       cache["entries"])
+        registry.gauge("service_cache_bytes",
+                       "Bytes pinned by the DetectorService LRU cache.",
+                       cache["bytes"])
+        per_relation: Dict[str, Dict[str, int]] = {}
+        seen: set = set()
+        # The long-lived graphs whose operator caches grow with traffic:
+        # the trained graph and the stream builder's seed snapshot.
+        graphs = [getattr(self.service.detector, "_graph", None),
+                  self._base_graph]
+        for graph in graphs:
+            if graph is None or id(graph) in seen:
+                continue
+            seen.add(id(graph))
+            for name, relation in graph:
+                info = relation.cache_info()
+                slot = per_relation.setdefault(name,
+                                               {"entries": 0, "bytes": 0})
+                slot["entries"] += info["entries"]
+                slot["bytes"] += info["bytes"]
+        if per_relation:
+            registry.add(
+                "propagator_cache_entries", "gauge",
+                "Lazily-built graph operators resident, by relation.",
+                [({"relation": name}, info["entries"])
+                 for name, info in sorted(per_relation.items())])
+            registry.add(
+                "propagator_cache_bytes", "gauge",
+                "Bytes held by cached graph operators, by relation.",
+                [({"relation": name}, info["bytes"])
+                 for name, info in sorted(per_relation.items())])
+        uptime = self.uptime_seconds
+        busy = self.batcher.busy_seconds
+        capacity = self.batcher.workers * uptime
+        registry.gauge("batcher_workers",
+                       "Batcher worker threads.", self.batcher.workers)
+        registry.counter("batcher_busy_seconds_total",
+                         "Wall seconds workers spent on batch groups.",
+                         busy)
+        registry.gauge("batcher_utilization_ratio",
+                       "Share of worker capacity spent on batch groups.",
+                       busy / capacity if capacity > 0 else 0.0)
+
+    def _render_slo_metrics(self, registry: MetricsRegistry) -> None:
+        """Per-endpoint rolling SLO gauges + window burn counters."""
+        statuses = self.slo.statuses()
+        if not statuses:
+            return
+        objective = self.slo.objective
+        p50s, p99s, errors, samples, compliant = [], [], [], [], []
+        objectives, windows, burns = [], [], []
+        for endpoint, status in statuses.items():
+            labels = {"endpoint": endpoint}
+            if status.p50_seconds is not None:
+                p50s.append((labels, status.p50_seconds))
+                p99s.append((labels, status.p99_seconds))
+                errors.append((labels, status.error_ratio))
+            samples.append((labels, status.samples))
+            compliant.append((labels, 1 if status.compliant else 0))
+            objectives.append((labels, objective.p99_seconds))
+            windows.append((labels, status.windows))
+            burns.append((labels, status.burn_windows))
+        if p50s:
+            registry.add("slo_latency_p50_seconds", "gauge",
+                         "Rolling-window p50 latency, by endpoint.", p50s)
+            registry.add("slo_latency_p99_seconds", "gauge",
+                         "Rolling-window p99 latency, by endpoint.", p99s)
+            registry.add("slo_error_ratio", "gauge",
+                         "Rolling-window 5xx share, by endpoint.", errors)
+        registry.add("slo_window_samples", "gauge",
+                     "Observations in the rolling window, by endpoint.",
+                     samples)
+        registry.add("slo_compliant", "gauge",
+                     "1 when the rolling window meets the objective.",
+                     compliant)
+        registry.add("slo_objective_p99_seconds", "gauge",
+                     "Configured p99 latency objective, by endpoint.",
+                     objectives)
+        registry.add("slo_windows_total", "counter",
+                     "Completed tumbling SLO windows, by endpoint.",
+                     windows)
+        registry.add("slo_burn_windows_total", "counter",
+                     "Completed windows that violated the objective.",
+                     burns)
 
     # ------------------------------------------------------------------
     def close(self) -> None:
         self.batcher.close()
+        self.sampler.close()
 
 
 __all__ = ["API_VERSION", "Gateway", "GatewayError", "SERVER_NAME"]

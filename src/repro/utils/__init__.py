@@ -1,6 +1,7 @@
 """Shared utilities: RNG threading and timing."""
 
 from .rng import SeedLike, ensure_rng, spawn
-from .timer import Timer
+from .timer import Timer, TimingResult, measure_repeated, median_mad
 
-__all__ = ["SeedLike", "Timer", "ensure_rng", "spawn"]
+__all__ = ["SeedLike", "Timer", "TimingResult", "ensure_rng",
+           "measure_repeated", "median_mad", "spawn"]

@@ -1,0 +1,224 @@
+"""Performance ledger + noise-aware regression detection (repro.obs.bench).
+
+The detector's contract, exercised on a synthetic corpus:
+
+* injected 1.5x / 2x slowdowns on low-noise benchmarks are flagged as
+  regressions (and named);
+* pure re-measurement noise is NEVER flagged, across many seeds — the
+  MAD-interval condition is what separates the two;
+* benchmarks present in only one ledger are informational, not failures;
+* ledgers round-trip through JSON unchanged;
+* the ``repro bench`` CLI gates: diff exits non-zero on regression, zero
+  on clean.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.obs.bench import (
+    BenchmarkRecord,
+    Ledger,
+    compare_records,
+    diff_ledgers,
+    environment_fingerprint,
+    load_ledgers,
+    render_diff,
+    render_report,
+)
+from repro.utils import TimingResult, measure_repeated, median_mad
+
+
+def _noisy_values(rng, center, noise=0.02, reps=7):
+    """One benchmark measurement: ``reps`` samples around ``center``.
+
+    Multiplicative noise (relative jitter), floored away from zero —
+    the shape real timer repetitions have.
+    """
+    values = center * (1.0 + noise * rng.standard_normal(reps))
+    return tuple(float(max(v, 1e-9)) for v in values)
+
+
+def _ledger(rng, centers, noise=0.02, suite="synthetic"):
+    book = Ledger(suite=suite)
+    for name, center in centers.items():
+        book.add(BenchmarkRecord(
+            name=name, values=_noisy_values(rng, center, noise)))
+    return book
+
+
+BASE_CENTERS = {"alpha": 0.010, "beta": 0.100, "gamma": 1.000}
+
+
+class TestRegressionDetector:
+    def test_injected_slowdowns_are_flagged(self):
+        rng = np.random.default_rng(0)
+        base = _ledger(rng, BASE_CENTERS)
+        slowed = dict(BASE_CENTERS)
+        slowed["alpha"] *= 2.0          # the injected 2x slowdown
+        slowed["beta"] *= 1.5
+        new = _ledger(rng, slowed)
+        diff = diff_ledgers(base, new)
+        flagged = {c.name for c in diff.regressions}
+        assert flagged == {"alpha", "beta"}
+        assert not diff.clean
+        # the 2x benchmark is named with its ratio in the rendered diff
+        text = render_diff(diff)
+        assert "! alpha: regression" in text
+        assert "x2." in text
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_pure_noise_is_never_flagged(self, seed):
+        rng = np.random.default_rng(seed)
+        base = _ledger(rng, BASE_CENTERS, noise=0.05)
+        new = _ledger(rng, BASE_CENTERS, noise=0.05)
+        diff = diff_ledgers(base, new)
+        assert diff.clean, [c.describe() for c in diff.regressions]
+        assert not diff.improvements
+
+    def test_large_shift_with_wide_noise_is_noise_not_regression(self):
+        # median doubled, but the intervals overlap: the measurements
+        # cannot distinguish the runs, so the verdict must stay "noise"
+        base = BenchmarkRecord(name="t", values=(0.10, 0.05, 0.30, 0.08))
+        new = BenchmarkRecord(name="t", values=(0.20, 0.10, 0.60, 0.16))
+        comparison = compare_records(base, new)
+        assert comparison.verdict == "noise"
+
+    def test_clean_improvement_is_flagged_symmetrically(self):
+        rng = np.random.default_rng(1)
+        base = _ledger(rng, {"alpha": 0.100})
+        new = _ledger(rng, {"alpha": 0.050})
+        diff = diff_ledgers(base, new)
+        assert diff.clean
+        assert [c.name for c in diff.improvements] == ["alpha"]
+
+    def test_added_and_removed_keys_are_informational(self):
+        rng = np.random.default_rng(2)
+        base = _ledger(rng, {"alpha": 0.01, "old": 0.02})
+        new = _ledger(rng, {"alpha": 0.01, "fresh": 0.02})
+        diff = diff_ledgers(base, new)
+        assert diff.added == ["fresh"]
+        assert diff.removed == ["old"]
+        assert diff.clean                     # never a failure
+        text = render_diff(diff)
+        assert "A fresh: added" in text
+        assert "R old: removed" in text
+
+    def test_zero_baseline_regression(self):
+        base = BenchmarkRecord(name="t", values=(0.0, 0.0))
+        new = BenchmarkRecord(name="t", values=(0.5, 0.5))
+        assert compare_records(base, new).verdict == "regression"
+
+
+class TestLedgerRoundTrip:
+    def test_save_load_round_trip(self, tmp_path):
+        rng = np.random.default_rng(3)
+        book = _ledger(rng, BASE_CENTERS)
+        book.benchmarks["alpha"] = BenchmarkRecord(
+            name="alpha", values=book.benchmarks["alpha"].values,
+            peak_rss_bytes=123456, meta={"reps_note": "warm"})
+        path = book.save(tmp_path)
+        assert path.name == "synthetic.json"
+        loaded = Ledger.load(path)
+        assert loaded.suite == book.suite
+        assert loaded.benchmarks.keys() == book.benchmarks.keys()
+        assert loaded.benchmarks["alpha"] == book.benchmarks["alpha"]
+        assert loaded.environment == book.environment
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 99, "suite": "bad"}))
+        with pytest.raises(ValueError, match="schema"):
+            Ledger.load(path)
+
+    def test_environment_fingerprint_fields(self):
+        env = environment_fingerprint()
+        assert set(env) == {"python", "numpy", "platform", "machine",
+                            "cpu_count", "dtype"}
+        assert env["dtype"] == "float64"
+
+    def test_record_timing_and_report(self):
+        timing = measure_repeated(lambda: None, reps=3, warmup=1,
+                                  name="noop")
+        book = Ledger(suite="s")
+        record = book.record_timing(timing, peak_rss_bytes=1024, tag="x")
+        assert record.meta == {"tag": "x", "warmup": 1}
+        report = render_report([book])
+        assert "suite s" in report and "noop" in report
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            BenchmarkRecord(name="t", values=())
+
+    def test_load_ledgers_missing_dir(self, tmp_path):
+        assert load_ledgers(tmp_path / "nope") == {}
+
+    def test_median_mad(self):
+        assert median_mad([3.0, 1.0, 2.0]) == (2.0, 1.0)
+        assert median_mad([5.0]) == (5.0, 0.0)
+        with pytest.raises(ValueError):
+            median_mad([])
+
+
+def _write_suite(directory, centers, rng, suite="smoke"):
+    _ledger(rng, centers, suite=suite).save(directory)
+
+
+class TestBenchCLI:
+    def test_diff_flags_injected_regression(self, tmp_path, capsys):
+        rng = np.random.default_rng(4)
+        base_dir, new_dir = tmp_path / "base", tmp_path / "new"
+        _write_suite(base_dir, BASE_CENTERS, rng)
+        slowed = dict(BASE_CENTERS, alpha=BASE_CENTERS["alpha"] * 2.0)
+        _write_suite(new_dir, slowed, rng)
+        code = cli_main(["bench", "diff", str(base_dir), str(new_dir)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "alpha: regression" in out     # the regression is named
+        assert "FAIL" in out
+
+    def test_diff_clean_back_to_back(self, tmp_path, capsys):
+        rng = np.random.default_rng(5)
+        base_dir, new_dir = tmp_path / "base", tmp_path / "new"
+        _write_suite(base_dir, BASE_CENTERS, rng)
+        _write_suite(new_dir, BASE_CENTERS, rng)
+        code = cli_main(["bench", "diff", str(base_dir), str(new_dir)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ok: no regressions" in out
+
+    def test_diff_accepts_single_files(self, tmp_path, capsys):
+        rng = np.random.default_rng(6)
+        base = _ledger(rng, {"a": 0.01}).save(tmp_path / "base")
+        new = _ledger(rng, {"a": 0.01}).save(tmp_path / "new")
+        assert cli_main(["bench", "diff", str(base), str(new)]) == 0
+        capsys.readouterr()
+
+    def test_diff_missing_path_errors(self, tmp_path, capsys):
+        rng = np.random.default_rng(7)
+        base = _ledger(rng, {"a": 0.01}).save(tmp_path)
+        code = cli_main(["bench", "diff", str(base),
+                         str(tmp_path / "missing")])
+        assert code == 1
+        assert "no such ledger" in capsys.readouterr().err
+
+    def test_report_renders_saved_ledgers(self, tmp_path, capsys):
+        rng = np.random.default_rng(8)
+        _write_suite(tmp_path, BASE_CENTERS, rng, suite="alpha_suite")
+        code = cli_main(["bench", "report", "--ledger-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "suite alpha_suite" in out
+        assert "gamma" in out
+
+    def test_report_filters_by_suite(self, tmp_path, capsys):
+        rng = np.random.default_rng(9)
+        _write_suite(tmp_path, {"a": 0.01}, rng, suite="one")
+        _write_suite(tmp_path, {"b": 0.01}, rng, suite="two")
+        code = cli_main(["bench", "report", "one",
+                         "--ledger-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "suite one" in out and "suite two" not in out

@@ -45,6 +45,7 @@ from repro.obs import (
     current_trace,
     get_logger,
     log_spaced_bounds,
+    parse_families,
     render_profile,
     render_trace_tree,
     sanitize_trace_id,
@@ -411,6 +412,61 @@ class TestPromlint:
         payload = "# HELP t_hits Hits.\n# TYPE t_hits counter\nt_hits 1\n"
         assert validate_exposition(payload,
                                    require_total_suffix=False) == []
+
+    @pytest.mark.parametrize("name", [
+        "t_latency_ms", "t_duration_milliseconds", "t_size_kb",
+        "t_heap_mb", "t_age_minutes", "t_share_percent",
+    ])
+    def test_non_base_unit_suffixes_are_flagged(self, name):
+        payload = (f"# HELP {name} X.\n# TYPE {name} gauge\n{name} 1\n")
+        problems = validate_exposition(payload)
+        assert any("non-base unit" in problem for problem in problems), \
+            problems
+
+    def test_base_unit_suffixes_are_clean(self):
+        for name in ("t_latency_seconds", "t_heap_bytes", "t_share_ratio"):
+            payload = f"# HELP {name} X.\n# TYPE {name} gauge\n{name} 1\n"
+            assert validate_exposition(payload) == []
+
+    def test_total_on_non_counter_is_flagged(self):
+        payload = ("# HELP t_x_total X.\n# TYPE t_x_total gauge\n"
+                   "t_x_total 1\n")
+        problems = validate_exposition(payload)
+        assert any("reserved for counters" in problem
+                   for problem in problems), problems
+        # counters stay exempt: the unit check looks before their _total
+        counter = ("# HELP t_busy_seconds_total X.\n"
+                   "# TYPE t_busy_seconds_total counter\n"
+                   "t_busy_seconds_total 1\n")
+        assert validate_exposition(counter) == []
+
+    def test_unit_check_can_be_relaxed(self):
+        payload = "# HELP t_lat_ms X.\n# TYPE t_lat_ms gauge\nt_lat_ms 1\n"
+        assert any("non-base unit" in p
+                   for p in validate_exposition(payload))
+        assert validate_exposition(payload, check_units=False) == []
+
+    def test_parse_families_structure(self):
+        families = parse_families(VALID_EXPOSITION)
+        assert set(families) == {"t_requests_total", "t_depth",
+                                 "t_latency_seconds"}
+        counter = families["t_requests_total"]
+        assert counter["type"] == "counter"
+        assert counter["help"] == "Requests answered."
+        assert counter["samples"] == [{
+            "name": "t_requests_total",
+            "labels": {"endpoint": "score", "status": "200"},
+            "value": 3.0,
+        }]
+        # histogram child series group under the base family name
+        hist_samples = families["t_latency_seconds"]["samples"]
+        assert {s["name"] for s in hist_samples} == {
+            "t_latency_seconds_bucket", "t_latency_seconds_sum",
+            "t_latency_seconds_count"}
+
+    def test_parse_families_rejects_broken_text(self):
+        with pytest.raises(ValueError, match="unparseable"):
+            parse_families("# HELP t_d D.\n# TYPE t_d gauge\nt_d banana\n")
 
 
 # ---------------------------------------------------------------------------
