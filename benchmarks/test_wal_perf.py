@@ -1,0 +1,138 @@
+"""Durability tax and recovery speed of the streaming WAL.
+
+Not a paper table — this prices what :mod:`repro.stream.wal` costs on the
+hot path and what it buys at restart. Two claims are gated:
+
+* logging every ingested batch (CRC-framed records, ``fsync`` off — the
+  CI-friendly setting; production pays the disk its own price) must not
+  dominate the apply+score window loop;
+* recovering builder state by snapshot + replay must beat re-processing
+  the full event stream through the scoring path, because replay applies
+  events without scoring — that is the entire point of the marker design.
+
+Both runs must agree with the uninterrupted run bit for bit.
+"""
+
+import numpy as np
+
+from conftest import save_and_echo
+
+from repro.core import UMGAD, UMGADConfig
+from repro.graphs import random_multiplex
+from repro.serve import DetectorService
+from repro.stream import (
+    IncrementalGraphBuilder,
+    StreamMonitor,
+    WriteAheadLog,
+    recover_builder,
+    synthesize_stream,
+    verify_parity,
+)
+from repro.utils import Timer
+
+_WINDOW = 300
+_NUM_WINDOWS = 12
+
+
+def _base_setup():
+    rng = np.random.default_rng(0)
+    graph = random_multiplex(500, 3, 16, rng, avg_degree=8.0)
+    config = UMGADConfig(epochs=2, mask_repeats=1, hidden_dim=8,
+                         encoder_layers=1, mask_ratio=0.5,
+                         use_augmented=False, seed=0)
+    model = UMGAD(config).fit(graph)
+    events, _truth = synthesize_stream(
+        graph, _WINDOW * _NUM_WINDOWS, np.random.default_rng(1),
+        burst_every=600, attr_noise=0.05)
+    windows = [events[i:i + _WINDOW]
+               for i in range(0, len(events), _WINDOW)]
+    return graph, model, windows
+
+
+def _monitor(graph, model, wal=None):
+    return StreamMonitor(DetectorService(model),
+                         IncrementalGraphBuilder.from_graph(graph),
+                         window=_WINDOW, top_k=10, wal=wal,
+                         snapshot_every=0)
+
+
+def test_wal_tax_on_streaming_ingest(output_dir, ledger, tmp_path):
+    graph, model, windows = _base_setup()
+    timer = Timer()
+
+    plain = _monitor(graph, model)
+    for window in windows:
+        with timer.measure("ingest_no_wal"):
+            plain.ingest(window)
+
+    wal = WriteAheadLog(tmp_path / "wal", fsync=False)
+    logged = _monitor(graph, model, wal=wal)
+    for window in windows:
+        with timer.measure("ingest_with_wal"):
+            logged.ingest(window)
+    wal.close()
+
+    # durability must be invisible to the computation
+    assert logged.builder.fingerprint() == plain.builder.fingerprint()
+
+    bare = timer.result("ingest_no_wal")
+    durable = timer.result("ingest_with_wal")
+    ledger.record_timing(bare, window=_WINDOW)
+    ledger.record_timing(durable, window=_WINDOW)
+    bare_ms = 1e3 * bare.mean
+    durable_ms = 1e3 * durable.mean
+    tax = durable_ms / bare_ms
+    report = "\n".join([
+        f"graph: {graph}",
+        f"stream: {_NUM_WINDOWS} windows x {_WINDOW} events",
+        f"ingest+score, no WAL     {bare_ms:8.2f} ms/window",
+        f"ingest+score, WAL on     {durable_ms:8.2f} ms/window",
+        f"durability tax           {tax:8.2f}x (bar: < 1.5x)",
+    ])
+    save_and_echo(output_dir, "wal_perf_tax", report)
+    assert tax < 1.5
+
+
+def test_recovery_replay_beats_rescoring(output_dir, ledger, tmp_path):
+    graph, model, windows = _base_setup()
+    timer = Timer()
+
+    # the "crashed" run: WAL on, no checkpoint, a partial window pending
+    wal = WriteAheadLog(tmp_path / "wal", fsync=False)
+    live = _monitor(graph, model, wal=wal)
+    for window in windows:
+        live.ingest(window)
+    live.ingest(windows[0][:_WINDOW // 2])        # torn mid-window tail
+    wal.close()
+
+    with timer.measure("recover_replay"):
+        wal2 = WriteAheadLog(tmp_path / "wal", fsync=False)
+        state = recover_builder(wal2)
+    wal2.close()
+    assert state.builder.fingerprint() == live.builder.fingerprint()
+    assert len(state.pending) == live.buffered
+    assert verify_parity(state.builder)
+
+    # the alternative to a WAL: re-run the whole stream through scoring
+    with timer.measure("reprocess_stream"):
+        redo = _monitor(graph, model)
+        for window in windows:
+            redo.ingest(window)
+        redo.ingest(windows[0][:_WINDOW // 2])
+    assert redo.builder.fingerprint() == live.builder.fingerprint()
+
+    replay = timer.result("recover_replay")
+    reprocess = timer.result("reprocess_stream")
+    ledger.record_timing(replay, events=len(windows) * _WINDOW)
+    ledger.record_timing(reprocess, events=len(windows) * _WINDOW)
+    replay_ms = 1e3 * replay.mean
+    reprocess_ms = 1e3 * reprocess.mean
+    speedup = reprocess_ms / replay_ms
+    report = "\n".join([
+        f"stream: {_NUM_WINDOWS} windows x {_WINDOW} events + torn tail",
+        f"snapshotless replay      {replay_ms:8.2f} ms",
+        f"re-process with scoring  {reprocess_ms:8.2f} ms",
+        f"recovery speedup         {speedup:8.1f}x (bar: 2x)",
+    ])
+    save_and_echo(output_dir, "wal_perf_recovery", report)
+    assert speedup >= 2.0

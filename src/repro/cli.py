@@ -208,6 +208,13 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--sample-interval", type=float, default=5.0,
                        help="seconds between background runtime-telemetry "
                             "samples")
+    serve.add_argument("--wal-dir", default=None,
+                       help="write-ahead-log directory for /v1/events; "
+                            "stream state is durably logged and recovered "
+                            "on restart")
+    serve.add_argument("--snapshot-every", type=int, default=10,
+                       help="windows between WAL builder snapshots "
+                            "(0 disables periodic snapshots)")
     _add_dtype_arg(serve)
 
     stream = sub.add_parser(
@@ -231,6 +238,14 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="PSI above which a drift alert fires")
     stream.add_argument("--jump-sigma", type=float, default=6.0,
                         help="robust sigmas for score-jump alerts")
+    stream.add_argument("--wal-dir", default=None,
+                        help="write-ahead-log directory: events are durably "
+                             "logged before scoring, and a rerun resumes "
+                             "from the recovered state (skipping events the "
+                             "crashed run already consumed)")
+    stream.add_argument("--snapshot-every", type=int, default=10,
+                        help="windows between WAL builder snapshots "
+                             "(0 disables periodic snapshots)")
     _add_dtype_arg(stream)
     _add_output_arg(stream)
 
@@ -476,13 +491,18 @@ def _run_serve_bench(args) -> int:
 
 
 def _run_stream(args) -> int:
+    import itertools
+
     from .serve import DetectorService, ServiceError
-    from .stream import IncrementalGraphBuilder, StreamMonitor, read_events
+    from .stream import (IncrementalGraphBuilder, StreamMonitor,
+                         WriteAheadLog, read_events)
 
     service = DetectorService(args.model, match_dtype=False)
+    graph = None
     if args.graph:
         graph, _labels = load_multiplex(args.graph)
-        builder = IncrementalGraphBuilder.from_graph(graph)
+        names = graph.relation_names
+        num_features = graph.num_features
     else:
         detector = service.detector
         names = getattr(detector, "_relation_names", None)
@@ -491,13 +511,43 @@ def _run_stream(args) -> int:
             raise ServiceError(
                 "checkpoint records no relation schema; pass --graph with "
                 "the initial snapshot instead")
-        builder = IncrementalGraphBuilder(relation_names=names,
-                                          num_features=num_features)
 
-    monitor = StreamMonitor(
-        service, builder, window=args.window, stride=args.stride,
-        top_k=args.top, psi_threshold=args.psi_threshold,
-        jump_sigma=args.jump_sigma)
+    skip = 0
+    if args.wal_dir:
+        wal = WriteAheadLog(args.wal_dir)
+        monitor = StreamMonitor.recover(
+            service, wal, relation_names=names, num_features=num_features,
+            window=args.window, stride=args.stride, top_k=args.top,
+            psi_threshold=args.psi_threshold, jump_sigma=args.jump_sigma,
+            snapshot_every=args.snapshot_every)
+        if monitor.recovered:
+            # The recovered state already holds this many of the log's
+            # events (scored windows + the restored pending buffer) —
+            # resume the replay right after them.
+            skip = monitor.events_consumed + monitor.buffered
+            if args.output == "text":
+                print(f"recovered from {args.wal_dir}: "
+                      f"{monitor.windows_scored} windows, "
+                      f"{monitor.events_consumed} events consumed, "
+                      f"{monitor.buffered} buffered; skipping the first "
+                      f"{skip} event(s) of {args.events}")
+        elif graph is not None and monitor.builder.num_nodes == 0:
+            # Fresh WAL: seed from the base graph like the non-WAL path.
+            monitor = StreamMonitor(
+                service, IncrementalGraphBuilder.from_graph(graph), wal=wal,
+                window=args.window, stride=args.stride, top_k=args.top,
+                psi_threshold=args.psi_threshold, jump_sigma=args.jump_sigma,
+                snapshot_every=args.snapshot_every)
+    else:
+        if graph is not None:
+            builder = IncrementalGraphBuilder.from_graph(graph)
+        else:
+            builder = IncrementalGraphBuilder(relation_names=names,
+                                              num_features=num_features)
+        monitor = StreamMonitor(
+            service, builder, window=args.window, stride=args.stride,
+            top_k=args.top, psi_threshold=args.psi_threshold,
+            jump_sigma=args.jump_sigma)
 
     def emit_report(report) -> None:
         if args.output == "json":
@@ -506,11 +556,17 @@ def _run_stream(args) -> int:
             print(report.render())
 
     try:
-        for report in monitor.run(read_events(args.events)):
+        events = read_events(args.events)
+        if skip:
+            events = itertools.islice(events, skip, None)
+        for report in monitor.run(events):
             emit_report(report)
         tail = monitor.flush()
         if tail is not None:
             emit_report(tail)
+        if monitor.wal is not None:
+            monitor.checkpoint()
+            monitor.wal.close()
         if args.output == "text":
             print(f"stream done: {monitor.events_consumed} events in "
                   f"{monitor.windows_scored} windows, "
@@ -559,7 +615,9 @@ def _run_serve(args) -> int:
                       slo_p99_seconds=args.slo_p99_seconds,
                       slo_error_ratio=args.slo_error_ratio,
                       slo_sustain=args.slo_sustain,
-                      sample_interval=args.sample_interval)
+                      sample_interval=args.sample_interval,
+                      wal_dir=args.wal_dir,
+                      snapshot_every=args.snapshot_every)
     server = make_server(gateway, host=args.host, port=args.port,
                          verbose=args.verbose)
     # The resolved port line is machine-readable on purpose: --port 0
@@ -766,6 +824,7 @@ def _dispatch_command(args) -> int:
         # Training commands keep full tracebacks — their failures are
         # bugs, not user input.
         from .serve import CheckpointError, ServiceError
+        from .stream import WalCorruptionError
 
         try:
             if args.command == "score":
@@ -775,8 +834,8 @@ def _dispatch_command(args) -> int:
             if args.command == "serve":
                 return _run_serve(args)
             return _run_serve_bench(args)
-        except (CheckpointError, ServiceError, FileNotFoundError,
-                ValueError, IndexError, KeyError) as exc:
+        except (CheckpointError, ServiceError, WalCorruptionError,
+                FileNotFoundError, ValueError, IndexError, KeyError) as exc:
             # KeyError's str() wraps the message in quotes; everything
             # else (notably OSError subclasses) formats itself best.
             message = exc.args[0] if isinstance(exc, KeyError) and \

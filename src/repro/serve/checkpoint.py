@@ -39,6 +39,7 @@ from typing import Dict, Optional, Tuple, Type
 
 import numpy as np
 
+from .. import chaos
 from ..detection import BaseDetector
 from ..graphs.io import graph_fingerprint
 from ..graphs.multiplex import MultiplexGraph
@@ -261,7 +262,10 @@ def load_checkpoint(path, match_dtype: bool = False) -> BaseDetector:
         # A valid header does not imply readable payloads: truncation or a
         # bit flip past the header entry surfaces here as a zip CRC error,
         # a zlib failure, or a short read deep inside numpy — all of which
-        # must come out as CheckpointError, not a numpy traceback.
+        # must come out as CheckpointError, not a numpy traceback. The
+        # chaos point injects an OSError on the same path, so an injected
+        # load failure takes the identical CheckpointError exit.
+        chaos.fail_point("checkpoint.load", key=str(path))
         with np.load(path, allow_pickle=False) as archive:
             payload = {name: archive[name] for name in archive.files
                        if name != _HEADER_KEY}

@@ -27,6 +27,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from .. import chaos
 from ..autograd import no_grad
 from ..detection import BaseDetector
 from ..graphs.io import graph_fingerprint
@@ -209,6 +210,10 @@ class DetectorService:
     # ------------------------------------------------------------------
     def _compute_scores(self, graph: MultiplexGraph,
                         fingerprint: str) -> np.ndarray:
+        # Deterministic fault injection: a fault keyed on this fingerprint
+        # poisons exactly this request's scoring pass (chaos tests pin
+        # that herd-mates on other fingerprints keep scoring normally).
+        chaos.fail_point("service.score", key=fingerprint)
         detector = self.detector
         if fingerprint == self.trained_fingerprint and \
                 detector._scores is not None:

@@ -23,7 +23,18 @@ JSON API:
   gauges and latency histograms);
 * :mod:`repro.server.slo` — rolling-window p50/p99 latency + error-rate
   SLO tracking per endpoint (``slo_*`` burn gauges at ``/metrics``,
-  ``GET /healthz?deep=1`` component health, 503 on sustained burn).
+  ``GET /healthz?deep=1`` component health, 503 on sustained burn);
+* :mod:`repro.server.breaker` — :class:`CircuitBreaker`, per-fingerprint
+  failure-streak tracking: tripped fingerprints are answered from the
+  stale-score cache (flagged ``degraded: true``) while half-open probes
+  test recovery.
+
+Resilience (PR 8): batcher workers crashed by faults are respawned by a
+watchdog with their in-hand batch re-queued; ``X-Repro-Deadline-Ms``
+deadlines drop expired requests (504); :class:`ServerClient` retries
+transient failures with jittered exponential backoff honouring
+``Retry-After``; :mod:`repro.chaos` fault points make every one of these
+paths deterministically testable.
 
 Observability (:mod:`repro.obs`) is threaded through every layer: traced
 requests echo ``X-Repro-Trace-Id``, completed traces are served at
@@ -33,8 +44,20 @@ along on ``/metrics``.
 Start one from the CLI with ``python -m repro.cli serve --model model.npz``.
 """
 
-from .app import ReproServer, ServerThread, TRACE_HEADER, make_server
-from .batcher import AdmissionError, BatcherStats, MicroBatcher
+from .app import (
+    DEADLINE_HEADER,
+    ReproServer,
+    ServerThread,
+    TRACE_HEADER,
+    make_server,
+)
+from .batcher import (
+    AdmissionError,
+    BatcherStats,
+    DeadlineExceeded,
+    MicroBatcher,
+)
+from .breaker import CircuitBreaker
 from .client import ServerClient, ServerClientError
 from .gateway import API_VERSION, Gateway, GatewayError, SERVER_NAME
 from .metrics import MetricsRegistry
@@ -45,6 +68,9 @@ __all__ = [
     "API_VERSION",
     "AdmissionError",
     "BatcherStats",
+    "CircuitBreaker",
+    "DEADLINE_HEADER",
+    "DeadlineExceeded",
     "EndpointStatus",
     "Gateway",
     "GatewayError",

@@ -37,15 +37,20 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from .. import chaos
 from ..obs.trace import annotate, sanitize_trace_id, start_trace
 from ..serve.checkpoint import CheckpointError
 from ..serve.service import ServiceError
-from .batcher import AdmissionError
+from .batcher import AdmissionError, DeadlineExceeded
 from .gateway import Gateway, GatewayError, SERVER_NAME
 
 #: request/response header carrying the request's trace id; clients may
 #: supply their own (sanitized) id to stitch server traces into theirs
 TRACE_HEADER = "X-Repro-Trace-Id"
+
+#: request header carrying the caller's remaining time budget in
+#: milliseconds; expired entries are dropped (504) instead of scored
+DEADLINE_HEADER = "X-Repro-Deadline-Ms"
 
 _ACTIVATE_PATTERN = re.compile(
     r"^/v1/models/(?P<name>[A-Za-z0-9][A-Za-z0-9._-]*)/activate$")
@@ -72,13 +77,20 @@ class ServerHandler(BaseHTTPRequestHandler):
 
     def _send(self, status: int, body: bytes, content_type: str,
               endpoint: str) -> None:
+        # Simulated transport fault: raising ConnectionResetError here
+        # drops the connection before any response bytes, exactly what a
+        # killed server mid-response looks like to the client.
+        chaos.fail_point("http.reset", key=endpoint)
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         trace_id = getattr(self, "_trace_id", None)
         if trace_id:
             self.send_header(TRACE_HEADER, trace_id)
-        if status == 429:
+        if status in (429, 503):
+            # Both are transient-by-contract: queue overflow (429) and
+            # shutdown/timeout/open-breaker (503). Clients honouring
+            # Retry-After (see ServerClient) back off instead of hammering.
             self.send_header("Retry-After", "1")
         if self.close_connection:
             # Tell the client this connection is done (undrained body);
@@ -182,6 +194,8 @@ class ServerHandler(BaseHTTPRequestHandler):
             status, payload = exc.status, {"error": str(exc)}
         except AdmissionError as exc:
             status, payload = exc.status, {"error": str(exc)}
+        except DeadlineExceeded as exc:
+            status, payload = 504, {"error": str(exc)}
         except (ServiceError, CheckpointError) as exc:
             status, payload = 409, {"error": str(exc)}
         except Exception as exc:  # noqa: BLE001 - the 500 safety net
@@ -254,14 +268,32 @@ class ServerHandler(BaseHTTPRequestHandler):
         return self.gateway.traces_payload(
             last=last, trace_id=query.get("id", [None])[0])
 
+    def _deadline_ms(self) -> Optional[float]:
+        """Parse ``X-Repro-Deadline-Ms`` (None when absent or malformed).
+
+        A malformed deadline is treated as no deadline rather than a 400:
+        the header is an optimisation hint, and refusing the request over
+        it would turn a client-side formatting bug into an outage.
+        """
+        raw = self.headers.get(DEADLINE_HEADER)
+        if raw is None:
+            return None
+        try:
+            value = float(raw)
+        except ValueError:
+            return None
+        return value if value > 0 else None
+
     def do_POST(self) -> None:  # noqa: N802 - http.server naming
         self._request_started = time.perf_counter()
         self._trace_id = None
         path = urlparse(self.path).path
         if path == "/v1/score":
+            deadline_ms = self._deadline_ms()
             self._dispatch(
-                "score", lambda: (200,
-                                  self.gateway.score(self._read_json_body())))
+                "score",
+                lambda: (200, self.gateway.score(self._read_json_body(),
+                                                 deadline_ms=deadline_ms)))
         elif path == "/v1/events":
             self._dispatch(
                 "events",
@@ -365,5 +397,5 @@ class ServerThread:
         self.stop()
 
 
-__all__ = ["ReproServer", "ServerHandler", "ServerThread", "TRACE_HEADER",
-           "make_server"]
+__all__ = ["DEADLINE_HEADER", "ReproServer", "ServerHandler", "ServerThread",
+           "TRACE_HEADER", "make_server"]

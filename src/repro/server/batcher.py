@@ -9,6 +9,15 @@ instead of queueing their own scoring pass. A worker then runs **one**
 fans the resulting array out to every waiting future — N identical
 concurrent requests cost one scoring pass instead of N.
 
+Resilience (PR 8): a **watchdog** thread respawns any worker killed by an
+unexpected exception — the dying worker first re-queues the batch group
+it was holding, so admitted requests survive worker crashes — expired
+**deadlines** (propagated from the ``X-Repro-Deadline-Ms`` header) drop
+requests whose caller already gave up instead of scoring them, and
+:meth:`MicroBatcher.close` reports workers that outlive the join timeout
+instead of silently leaking them. Fault points ``batcher.worker`` and
+``batcher.batch`` (:mod:`repro.chaos`) exercise these paths in tests.
+
 Two protections keep the pool healthy under load:
 
 * **admission control** — the total number of admitted-but-unresolved
@@ -34,11 +43,27 @@ from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from .. import chaos
 from ..graphs.io import graph_fingerprint
 from ..graphs.multiplex import MultiplexGraph
 from ..obs.hist import BATCH_SIZE_BOUNDS, DURATION_BOUNDS, Histogram
+from ..obs.log import get_logger
 from ..obs.trace import current_span, current_trace, span, use_span
 from ..serve.service import DetectorService
+
+_log = get_logger("repro.server.batcher")
+
+#: how many times a batch group orphaned by a worker crash is re-queued
+#: before its requests are failed with the crash error. Three respawn
+#: cycles separate a transient crash (poisoned neighbour, injected
+#: fault) from a deterministic one that would crash every worker.
+_MAX_REQUEUES = 3
+
+#: seconds between watchdog liveness sweeps over the worker pool
+_WATCHDOG_INTERVAL = 0.25
+
+#: seconds close() waits for each worker before declaring it leaked
+_JOIN_TIMEOUT = 30.0
 
 
 class AdmissionError(RuntimeError):
@@ -54,6 +79,17 @@ class AdmissionError(RuntimeError):
         self.status = int(status)
 
 
+class DeadlineExceeded(RuntimeError):
+    """A request dropped because its caller's deadline already passed.
+
+    The gateway maps this to HTTP 504: scoring a request whose client
+    has given up wastes a batch slot that a live request could use, so
+    expired entries are dropped at batch assembly instead of scored.
+    """
+
+    status = 504
+
+
 @dataclass
 class BatcherStats:
     """Counters for one :class:`MicroBatcher` (exported via /metrics)."""
@@ -67,6 +103,16 @@ class BatcherStats:
     #: requests that joined an already-open group (saved scoring passes)
     coalesced: int = 0
     largest_batch: int = 0
+    #: requests dropped at batch assembly because their deadline passed
+    expired: int = 0
+    #: workers killed by an unexpected exception (chaos or real bug)
+    worker_crashes: int = 0
+    #: replacement workers started by the watchdog
+    worker_respawns: int = 0
+    #: batch groups re-queued after their worker crashed (zero requests lost)
+    rescued: int = 0
+    #: workers still alive after close() exhausted its join timeout
+    leaked_workers: int = 0
 
     def to_dict(self) -> dict:
         return dict(vars(self))
@@ -76,16 +122,21 @@ class _Group:
     """One open batch: every future here is answered by one scoring pass."""
 
     __slots__ = ("fingerprint", "graph", "futures", "deadline",
-                 "submit_times", "obs_parent")
+                 "submit_times", "deadlines", "requeues", "obs_parent")
 
     def __init__(self, fingerprint: str, graph: MultiplexGraph,
-                 future: Future, deadline: float):
+                 future: Future, deadline: float,
+                 request_deadline: Optional[float] = None):
         self.fingerprint = fingerprint
         self.graph = graph
         self.futures: List[Future] = [future]
         self.deadline = deadline
         #: per-future admission timestamps (monotonic) for queue-wait stats
         self.submit_times: List[float] = [time.monotonic()]
+        #: per-future caller deadlines (monotonic, None = no deadline)
+        self.deadlines: List[Optional[float]] = [request_deadline]
+        #: crash-rescue cycles this group has survived
+        self.requeues = 0
         # The leader request's ambient span: worker threads adopt it so
         # the batch span lands in that request's trace. None when the
         # leader was untraced.
@@ -144,13 +195,41 @@ class MicroBatcher:
         self._pending = 0
         self._closed = False
         self._queue: "queue.SimpleQueue[Optional[_Group]]" = queue.SimpleQueue()
-        self._threads = [
-            threading.Thread(target=self._run, daemon=True,
-                             name=f"repro-batcher-{i}")
-            for i in range(int(workers))
-        ]
-        for thread in self._threads:
-            thread.start()
+        self._shutdown = threading.Event()
+        self._spawned = 0
+        self._threads = [self._spawn_worker() for _ in range(int(workers))]
+        self._watchdog_thread = threading.Thread(
+            target=self._watchdog, daemon=True, name="repro-batcher-watchdog")
+        self._watchdog_thread.start()
+
+    def _spawn_worker(self) -> threading.Thread:
+        thread = threading.Thread(target=self._run, daemon=True,
+                                  name=f"repro-batcher-{self._spawned}")
+        self._spawned += 1
+        thread.start()
+        return thread
+
+    def _watchdog(self) -> None:
+        """Respawn workers killed by unexpected exceptions.
+
+        A worker that dies mid-group first re-queues the group (see
+        :meth:`_rescue`), so a respawned worker picks the orphaned batch
+        back up and no admitted request is lost. Workers exiting on the
+        shutdown sentinel are not respawned — the watchdog checks
+        ``closed`` before acting and exits once shutdown begins.
+        """
+        while not self._shutdown.wait(_WATCHDOG_INTERVAL):
+            with self._lock:
+                if self._closed:
+                    return
+                dead = [i for i, t in enumerate(self._threads)
+                        if not t.is_alive()]
+                if not dead:
+                    continue
+                for i in dead:
+                    self._threads[i] = self._spawn_worker()
+                    self.stats.worker_respawns += 1
+            _log.warning("batcher.worker_respawned", count=len(dead))
 
     # ------------------------------------------------------------------
     @property
@@ -172,12 +251,24 @@ class MicroBatcher:
 
     # ------------------------------------------------------------------
     def submit(self, graph: MultiplexGraph,
-               fingerprint: Optional[str] = None) -> Future:
+               fingerprint: Optional[str] = None,
+               deadline: Optional[float] = None) -> Future:
         """Admit one score request; resolves to the per-node score array.
+
+        ``deadline`` is an absolute ``time.monotonic()`` timestamp after
+        which the caller no longer wants the answer (propagated from the
+        ``X-Repro-Deadline-Ms`` request header). An already-expired
+        deadline raises :class:`DeadlineExceeded` immediately; one that
+        expires while queued drops the entry at batch assembly.
 
         Raises :class:`AdmissionError` instead of queueing when the
         admission bound is hit (429) or the batcher is draining (503).
         """
+        if deadline is not None and time.monotonic() >= deadline:
+            with self._lock:
+                self.stats.expired += 1
+            raise DeadlineExceeded(
+                "request deadline expired before admission")
         if fingerprint is None:
             fingerprint = graph_fingerprint(graph)
         future: Future = Future()
@@ -199,6 +290,7 @@ class MicroBatcher:
             if group is not None and len(group.futures) < self.max_batch:
                 group.futures.append(future)
                 group.submit_times.append(time.monotonic())
+                group.deadlines.append(deadline)
                 self.stats.coalesced += 1
                 # Followers ride the leader's scoring pass; their traces
                 # point at the leader's trace/span instead of duplicating
@@ -211,7 +303,8 @@ class MicroBatcher:
                                    group.obs_parent.span_id)
             else:
                 enqueue = _Group(fingerprint, graph, future,
-                                 time.monotonic() + self._linger)
+                                 time.monotonic() + self._linger,
+                                 request_deadline=deadline)
                 self._groups[fingerprint] = enqueue
         if enqueue is not None:
             self._queue.put(enqueue)
@@ -223,62 +316,141 @@ class MicroBatcher:
             group = self._queue.get()
             if group is None:
                 return
-            work_started = time.monotonic()
-            # Hold the group open until its linger deadline so concurrent
-            # requests can still join; joiners append under the lock. When
-            # the service is already warm for this fingerprint (cached, in
-            # flight, or the trained graph) there is no pass to amortise —
-            # answer immediately instead of taxing the request with linger.
-            delay = group.deadline - time.monotonic()
-            if delay > 0 and not self.service.is_warm(group.fingerprint):
-                time.sleep(delay)
-            with self._lock:
+            try:
+                # Deterministic worker-kill fault: raised *outside*
+                # _process's error handling, so the exception escapes,
+                # the group is rescued, and this thread dies for the
+                # watchdog to replace.
+                chaos.fail_point("batcher.worker", key=group.fingerprint)
+                self._process(group)
+            except BaseException as exc:
+                self._rescue(group, exc)
+                raise
+
+    def _rescue(self, group: _Group, exc: BaseException) -> None:
+        """Re-queue a group orphaned by this worker's crash.
+
+        Unresolved futures go back on the queue for a (respawned) worker,
+        so a worker crash loses zero admitted requests. After
+        ``_MAX_REQUEUES`` rescue cycles the crash is considered
+        deterministic and the futures are failed with it instead —
+        re-queueing forever would crash every replacement worker too.
+        """
+        unresolved = [f for f in group.futures if not f.done()]
+        if not unresolved:
+            return
+        with self._lock:
+            self.stats.worker_crashes += 1
+            group.requeues += 1
+            requeues = group.requeues
+            if requeues <= _MAX_REQUEUES:
+                self.stats.rescued += 1
+            else:
+                self.stats.failed += len(unresolved)
+                self._pending -= len(unresolved)
                 if self._groups.get(group.fingerprint) is group:
                     del self._groups[group.fingerprint]
-                futures = list(group.futures)
-                submit_times = list(group.submit_times)
-            batch_started = time.monotonic()
-            for submitted in submit_times:
-                self.queue_wait.observe(batch_started - submitted)
-            self.batch_sizes.observe(len(futures))
-            # The scoring pass runs under the leader request's span (if it
-            # was traced); the error is captured in a local so the worker
-            # thread survives to resolve the futures either way.
-            error: Optional[BaseException] = None
-            scores = None
-            with use_span(group.obs_parent), span("batcher.batch") as sp:
-                sp.set("batch_size", len(futures))
-                sp.set("coalesced", len(futures) - 1)
-                try:
-                    scores = self.service.scores(group.graph,
-                                                 group.fingerprint)
-                except BaseException as exc:
-                    sp.set("error", type(exc).__name__)
-                    error = exc
-            batch_info = {
-                "batch_size": len(futures),
-                "coalesced": len(futures) - 1,
-                "queue_wait_ms": (batch_started - submit_times[0]) * 1e3,
-            }
-            if error is not None:
-                with self._lock:
-                    self.stats.failed += len(futures)
-                    self._pending -= len(futures)
-                    self._busy_seconds += time.monotonic() - work_started
-                for future in futures:
-                    future.obs_batch = batch_info
-                    future.set_exception(error)
+        if requeues <= _MAX_REQUEUES:
+            _log.warning("batcher.group_rescued",
+                         fingerprint=group.fingerprint,
+                         futures=len(unresolved), requeues=requeues,
+                         error=type(exc).__name__)
+            self._queue.put(group)
+        else:
+            _log.error("batcher.group_abandoned",
+                       fingerprint=group.fingerprint,
+                       futures=len(unresolved), requeues=requeues,
+                       error=type(exc).__name__)
+            for future in unresolved:
+                future.set_exception(exc)
+
+    def _process(self, group: _Group) -> None:
+        work_started = time.monotonic()
+        # Hold the group open until its linger deadline so concurrent
+        # requests can still join; joiners append under the lock. When
+        # the service is already warm for this fingerprint (cached, in
+        # flight, or the trained graph) there is no pass to amortise —
+        # answer immediately instead of taxing the request with linger.
+        delay = group.deadline - time.monotonic()
+        if delay > 0 and not self.service.is_warm(group.fingerprint):
+            time.sleep(delay)
+        with self._lock:
+            if self._groups.get(group.fingerprint) is group:
+                del self._groups[group.fingerprint]
+            futures = list(group.futures)
+            submit_times = list(group.submit_times)
+            deadlines = list(group.deadlines)
+        batch_started = time.monotonic()
+        # Drop entries whose caller's deadline passed while they queued:
+        # scoring them would spend batch capacity on answers nobody is
+        # waiting for. (A rescued group may carry already-resolved
+        # futures — those are skipped too.)
+        live: List[Future] = []
+        live_times: List[float] = []
+        expired: List[Future] = []
+        for future, submitted, request_deadline in zip(
+                futures, submit_times, deadlines):
+            if future.done():
+                continue
+            if request_deadline is not None and batch_started >= request_deadline:
+                expired.append(future)
             else:
-                with self._lock:
-                    self.stats.batches += 1
-                    self.stats.completed += len(futures)
-                    self.stats.largest_batch = max(self.stats.largest_batch,
-                                                   len(futures))
-                    self._pending -= len(futures)
-                    self._busy_seconds += time.monotonic() - work_started
-                for future in futures:
-                    future.obs_batch = batch_info
-                    future.set_result(scores)
+                live.append(future)
+                live_times.append(submitted)
+        if expired:
+            with self._lock:
+                self.stats.expired += len(expired)
+                self._pending -= len(expired)
+            for future in expired:
+                future.set_exception(DeadlineExceeded(
+                    "request deadline expired while queued for batching"))
+        if not live:
+            with self._lock:
+                self._busy_seconds += time.monotonic() - work_started
+            return
+        futures, submit_times = live, live_times
+        for submitted in submit_times:
+            self.queue_wait.observe(batch_started - submitted)
+        self.batch_sizes.observe(len(futures))
+        # The scoring pass runs under the leader request's span (if it
+        # was traced); the error is captured in a local so the worker
+        # thread survives to resolve the futures either way.
+        error: Optional[BaseException] = None
+        scores = None
+        with use_span(group.obs_parent), span("batcher.batch") as sp:
+            sp.set("batch_size", len(futures))
+            sp.set("coalesced", len(futures) - 1)
+            try:
+                chaos.fail_point("batcher.batch", key=group.fingerprint)
+                scores = self.service.scores(group.graph,
+                                             group.fingerprint)
+            except BaseException as exc:
+                sp.set("error", type(exc).__name__)
+                error = exc
+        batch_info = {
+            "batch_size": len(futures),
+            "coalesced": len(futures) - 1,
+            "queue_wait_ms": (batch_started - submit_times[0]) * 1e3,
+        }
+        if error is not None:
+            with self._lock:
+                self.stats.failed += len(futures)
+                self._pending -= len(futures)
+                self._busy_seconds += time.monotonic() - work_started
+            for future in futures:
+                future.obs_batch = batch_info
+                future.set_exception(error)
+        else:
+            with self._lock:
+                self.stats.batches += 1
+                self.stats.completed += len(futures)
+                self.stats.largest_batch = max(self.stats.largest_batch,
+                                               len(futures))
+                self._pending -= len(futures)
+                self._busy_seconds += time.monotonic() - work_started
+            for future in futures:
+                future.obs_batch = batch_info
+                future.set_result(scores)
 
     # ------------------------------------------------------------------
     def close(self, wait: bool = True) -> None:
@@ -292,11 +464,24 @@ class MicroBatcher:
             if self._closed:
                 return
             self._closed = True
+        # Stop the watchdog before workers exit on their sentinels, so a
+        # cleanly-exiting worker is never mistaken for a crash.
+        self._shutdown.set()
+        self._watchdog_thread.join(timeout=5.0)
         for _ in self._threads:
             self._queue.put(None)
         if wait:
             for thread in self._threads:
-                thread.join(timeout=30.0)
+                thread.join(timeout=_JOIN_TIMEOUT)
+            leaked = [t.name for t in self._threads if t.is_alive()]
+            if leaked:
+                # A worker wedged in a scoring pass past the join timeout
+                # is a real leak (daemon thread holding arbitrary state) —
+                # surface it instead of returning as if shutdown was clean.
+                with self._lock:
+                    self.stats.leaked_workers += len(leaked)
+                _log.error("batcher.workers_leaked", workers=leaked,
+                           timeout_s=_JOIN_TIMEOUT)
 
     def __enter__(self) -> "MicroBatcher":
         return self
@@ -305,4 +490,5 @@ class MicroBatcher:
         self.close()
 
 
-__all__ = ["AdmissionError", "BatcherStats", "MicroBatcher"]
+__all__ = ["AdmissionError", "BatcherStats", "DeadlineExceeded",
+           "MicroBatcher"]

@@ -13,11 +13,17 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
+import time
 from typing import Dict, Iterable, List, Optional, Union
 
 from .gateway import SERVER_NAME
 
 TRACE_HEADER = "X-Repro-Trace-Id"
+
+#: statuses worth retrying: 429 is always safe (the request was never
+#: admitted), 503 only for idempotent requests (it may have run)
+_RETRY_STATUSES = (429, 503)
 
 
 class ServerClientError(RuntimeError):
@@ -43,16 +49,32 @@ class ServerClient:
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8765,
-                 timeout: float = 60.0):
+                 timeout: float = 60.0, retries: int = 0,
+                 backoff_base: float = 0.1, backoff_max: float = 2.0):
         self.host = host
         self.port = int(port)
         self.timeout = float(timeout)
+        #: transient-failure retries per request (0 = fail fast, the
+        #: default — overload tests assert raw 429s). 429 responses are
+        #: always retryable; 503s and connection resets only for
+        #: idempotent requests, which may safely run twice.
+        self.retries = int(retries)
+        #: backoff schedule: min(backoff_max, base * 2^attempt) scaled by
+        #: a [0.5, 1.5) jitter factor; a server Retry-After header
+        #: overrides the computed delay
+        self.backoff_base = float(backoff_base)
+        self.backoff_max = float(backoff_max)
         #: response headers of the most recent request
         self.last_headers: Dict[str, str] = {}
         #: server trace id of the most recent request, if traced
         self.last_trace_id: Optional[str] = None
         #: HTTP status of the most recent request
         self.last_status: Optional[int] = None
+        #: transparent reconnect-retries taken after a dead keep-alive
+        #: connection (idempotent requests only; independent of `retries`)
+        self.reconnects = 0
+        #: backoff retries actually taken (429/503/reset)
+        self.retries_taken = 0
         self._connection: Optional[http.client.HTTPConnection] = None
 
     # ------------------------------------------------------------------
@@ -76,7 +98,79 @@ class ServerClient:
     def _request(self, method: str, path: str,
                  payload: Optional[dict] = None,
                  trace_id: Optional[str] = None,
-                 accept_statuses: tuple = ()):
+                 accept_statuses: tuple = (),
+                 idempotent: Optional[bool] = None):
+        """One logical request = one reconnect-retry + ``retries`` backoffs.
+
+        Two independent retry layers:
+
+        * **dead keep-alive reconnect** — a server may close an idle
+          keep-alive connection between calls; the failure surfaces only
+          when the next request hits the dead socket. For idempotent
+          requests, reconnect and resend once, transparently (always on,
+          not counted against ``retries``). Non-idempotent requests
+          (``/v1/events`` mutates stream state) surface the error: the
+          server may have processed the request before the reset.
+        * **backoff retries** — up to ``retries`` attempts on 429
+          (always: the request was refused at admission, it never ran),
+          and on 503/connection-reset for idempotent requests only.
+          Delays are jittered exponential, overridden upward by a server
+          ``Retry-After`` header.
+        """
+        if idempotent is None:
+            idempotent = method == "GET"
+        attempts = 0
+        reconnect_budget = 1 if idempotent else 0
+        while True:
+            reused = self._connection is not None
+            try:
+                return self._once(method, path, payload, trace_id,
+                                  accept_statuses)
+            except ServerClientError as exc:
+                if exc.status not in _RETRY_STATUSES:
+                    raise
+                if exc.status == 503 and not idempotent:
+                    raise
+                if attempts >= self.retries:
+                    raise
+                delay = self._retry_delay(
+                    attempts, self.last_headers.get("Retry-After"))
+                attempts += 1
+                self.retries_taken += 1
+                time.sleep(delay)
+            except (http.client.HTTPException, OSError):
+                if not idempotent:
+                    raise
+                if reused and reconnect_budget > 0:
+                    # The keep-alive connection died while idle; _once
+                    # already dropped it, so the next attempt reconnects.
+                    reconnect_budget -= 1
+                    self.reconnects += 1
+                    continue
+                if attempts >= self.retries:
+                    raise
+                delay = self._retry_delay(attempts, None)
+                attempts += 1
+                self.retries_taken += 1
+                time.sleep(delay)
+
+    def _retry_delay(self, attempt: int,
+                     retry_after: Optional[str]) -> float:
+        delay = min(self.backoff_max, self.backoff_base * (2 ** attempt))
+        delay *= 0.5 + random.random()   # jitter: desynchronise herds
+        if retry_after is not None:
+            try:
+                # Honour the server's hint (delta-seconds form), bounded
+                # so a silly header cannot park the client for minutes.
+                delay = max(delay, min(float(retry_after), 30.0))
+            except ValueError:
+                pass
+        return delay
+
+    def _once(self, method: str, path: str,
+              payload: Optional[dict] = None,
+              trace_id: Optional[str] = None,
+              accept_statuses: tuple = ()):
         body = None
         headers = {"Accept": "application/json"}
         if trace_id is not None:
@@ -145,8 +239,10 @@ class ServerClient:
             payload["top_k"] = int(top_k)
         if threshold:
             payload["threshold"] = True
+        # Scoring is a read-only computation: safe to resend after a
+        # connection reset or 503, so it opts into the idempotent retries.
         return self._request("POST", "/v1/score", payload,
-                             trace_id=trace_id)
+                             trace_id=trace_id, idempotent=True)
 
     def events(self, events: Iterable[Union[dict, object]],
                flush: bool = False) -> dict:
@@ -156,15 +252,24 @@ class ServerClient:
         payload: dict = {"events": serialised}
         if flush:
             payload["flush"] = True
-        return self._request("POST", "/v1/events", payload)
+        # NOT idempotent: a reset after the server ingested the batch
+        # would double-apply every event on resend. Surface the error and
+        # let the caller decide (the WAL makes server-side state durable).
+        return self._request("POST", "/v1/events", payload,
+                             idempotent=False)
 
     def models(self) -> dict:
         """GET /v1/models."""
         return self._request("GET", "/v1/models")
 
     def activate(self, name: str) -> dict:
-        """POST /v1/models/{name}/activate."""
-        return self._request("POST", f"/v1/models/{name}/activate", {})
+        """POST /v1/models/{name}/activate.
+
+        Activation converges (activating the active model is a no-op), so
+        it is safe to resend and opts into the idempotent retries.
+        """
+        return self._request("POST", f"/v1/models/{name}/activate", {},
+                             idempotent=True)
 
     def health(self) -> dict:
         """GET /healthz."""

@@ -17,9 +17,11 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Dict, List, Optional
 
+from .. import chaos
 from ..graphs.io import graph_fingerprint
 from ..graphs.multiplex import MultiplexGraph
 from ..obs.hist import DURATION_BOUNDS, Histogram
@@ -30,7 +32,9 @@ from ..serve.service import DetectorService, ServiceError
 from ..stream.builder import IncrementalGraphBuilder
 from ..stream.events import parse_event
 from ..stream.monitor import StreamMonitor
-from .batcher import MicroBatcher
+from ..stream.wal import WriteAheadLog
+from .batcher import DeadlineExceeded, MicroBatcher
+from .breaker import CircuitBreaker
 from .metrics import MetricsRegistry
 from .protocol import (
     ProtocolError,
@@ -105,7 +109,12 @@ class Gateway:
                  slo_window: int = 100, slo_p99_seconds: float = 2.5,
                  slo_error_ratio: float = 0.02, slo_sustain: int = 2,
                  slo_min_samples: Optional[int] = None,
-                 sample_interval: float = 5.0):
+                 sample_interval: float = 5.0,
+                 wal_dir=None, snapshot_every: int = 10,
+                 wal_fsync: bool = True,
+                 breaker_failures: int = 3,
+                 breaker_reset_seconds: float = 30.0,
+                 stale_cache_size: int = 64):
         self.service = service
         self.registry = registry
         self.active_model = active_model
@@ -115,8 +124,11 @@ class Gateway:
         self.request_timeout = float(request_timeout)
         self._monitor_kwargs = dict(window=window, stride=stride, top_k=top_k,
                                     psi_threshold=psi_threshold,
-                                    jump_sigma=jump_sigma)
+                                    jump_sigma=jump_sigma,
+                                    snapshot_every=snapshot_every)
         self._base_graph = base_graph
+        self._wal_dir = wal_dir
+        self._wal_fsync = bool(wal_fsync)
         self.monitor: Optional[StreamMonitor] = None
         self._monitor_lock = threading.Lock()
         self._counter_lock = threading.Lock()
@@ -132,9 +144,31 @@ class Gateway:
             objective=SLOObjective(p99_seconds=slo_p99_seconds,
                                    error_ratio=slo_error_ratio),
             sustain=slo_sustain, min_samples=slo_min_samples)
+        #: per-fingerprint circuit breaker: repeated scoring failures for
+        #: one graph trip it open, after which requests for that graph are
+        #: answered from the stale-score cache (degraded) or refused (503)
+        #: instead of burning batch capacity on a known failure
+        self.breaker = CircuitBreaker(failure_threshold=breaker_failures,
+                                      reset_timeout=breaker_reset_seconds)
+        self._stale_lock = threading.Lock()
+        #: last known-good scores per fingerprint (LRU-bounded): the
+        #: degraded-mode answer while a breaker is open
+        self._stale_scores: "OrderedDict[str, object]" = OrderedDict()
+        self._stale_capacity = int(stale_cache_size)
+        self._degraded_served = 0
         #: background process-telemetry sampler (RSS/GC/threads/FDs)
         self.sampler = RuntimeSampler(interval=sample_interval).start()
         self._started = time.monotonic()
+        if wal_dir is not None:
+            # Recover stream state at startup, not on the first request:
+            # a restarted server resumes exactly where the crash left it
+            # (a corrupt WAL fails fast here). Without a schema source the
+            # monitor stays lazy, as before.
+            with self._monitor_lock:
+                try:
+                    self._ensure_monitor()
+                except GatewayError:
+                    pass
 
     # ------------------------------------------------------------------
     # Telemetry
@@ -201,7 +235,11 @@ class Gateway:
     # ------------------------------------------------------------------
     # POST /v1/score
     # ------------------------------------------------------------------
-    def score(self, payload: dict) -> dict:
+    def score(self, payload: dict,
+              deadline_ms: Optional[float] = None) -> dict:
+        # Latency-injection site: a `latency` fault here simulates a slow
+        # dependency in front of scoring (deadline/SLO tests lean on it).
+        chaos.fail_point("gateway.score")
         if not isinstance(payload, dict):
             raise GatewayError("request body must be a JSON object", 400)
         top_k = payload.get("top_k")
@@ -209,6 +247,7 @@ class Gateway:
                                   or isinstance(top_k, bool) or top_k < 1):
             raise GatewayError("'top_k' must be a positive integer", 400)
         want_threshold = bool(payload.get("threshold", False))
+        degraded = False
 
         if "graph" in payload:
             try:
@@ -217,25 +256,54 @@ class Gateway:
                 raise GatewayError(str(exc), 400) from None
             fingerprint = graph_fingerprint(graph)
             nodes = self._parse_nodes(payload, graph.num_nodes)
-            # AdmissionError (429/503) propagates to the HTTP layer as-is.
-            future = self.batcher.submit(graph, fingerprint)
-            try:
-                with span("batcher.wait"):
-                    scores = future.result(timeout=self.request_timeout)
-            except FutureTimeoutError:
-                raise GatewayError(
-                    f"scoring did not finish within "
-                    f"{self.request_timeout:.0f}s", 503) from None
-            except (ServiceError, ValueError) as exc:
-                # ServiceError: the detector keeps no reusable networks;
-                # ValueError: the graph doesn't match the model's schema
-                # (feature/relation count). Both are "this model cannot
-                # answer this request", not server bugs.
-                raise GatewayError(str(exc), 409) from None
-            batch_info = getattr(future, "obs_batch", None)
-            if batch_info is not None:
-                annotate("batch_size", batch_info["batch_size"])
-                annotate("coalesced", batch_info["coalesced"])
+            if not self.breaker.allow(fingerprint):
+                # Breaker open for this graph: don't spend a batch slot on
+                # a known failure — answer from the stale cache, degraded.
+                scores = self._stale_lookup(fingerprint)
+                if scores is None:
+                    raise GatewayError(
+                        f"scoring fingerprint {fingerprint[:12]}… keeps "
+                        "failing (circuit open) and no stale scores are "
+                        "cached; retry after the breaker's reset timeout",
+                        503)
+                degraded = True
+                self._degraded_served += 1
+                annotate("degraded", True)
+                annotate("score_source", "stale_cache")
+            else:
+                deadline = (time.monotonic() + float(deadline_ms) / 1e3
+                            if deadline_ms is not None else None)
+                # AdmissionError (429/503) and DeadlineExceeded (504)
+                # propagate to the HTTP layer as-is.
+                future = self.batcher.submit(graph, fingerprint,
+                                             deadline=deadline)
+                try:
+                    with span("batcher.wait"):
+                        scores = future.result(timeout=self.request_timeout)
+                except FutureTimeoutError:
+                    raise GatewayError(
+                        f"scoring did not finish within "
+                        f"{self.request_timeout:.0f}s", 503) from None
+                except DeadlineExceeded:
+                    raise
+                except (ServiceError, ValueError) as exc:
+                    # ServiceError: the detector keeps no reusable
+                    # networks; ValueError: the graph doesn't match the
+                    # model's schema (feature/relation count). Both are
+                    # "this model cannot answer this request", not server
+                    # bugs — but a streak of them trips this
+                    # fingerprint's breaker all the same.
+                    self.breaker.record_failure(fingerprint)
+                    raise GatewayError(str(exc), 409) from None
+                except Exception:
+                    self.breaker.record_failure(fingerprint)
+                    raise
+                self.breaker.record_success(fingerprint)
+                self._stale_store(fingerprint, scores)
+                batch_info = getattr(future, "obs_batch", None)
+                if batch_info is not None:
+                    annotate("batch_size", batch_info["batch_size"])
+                    annotate("coalesced", batch_info["coalesced"])
             threshold = self._threshold_for(fingerprint, scores) \
                 if want_threshold else None
         elif "fingerprint" in payload:
@@ -255,7 +323,23 @@ class Gateway:
                 "attributes) or 'fingerprint' (warm-cache lookup)", 400)
 
         return score_response(fingerprint, scores, nodes=nodes,
-                              top_k=top_k, threshold=threshold)
+                              top_k=top_k, threshold=threshold,
+                              degraded=degraded)
+
+    def _stale_store(self, fingerprint: str, scores) -> None:
+        """Remember the last known-good scores for degraded answers."""
+        with self._stale_lock:
+            self._stale_scores[fingerprint] = scores
+            self._stale_scores.move_to_end(fingerprint)
+            while len(self._stale_scores) > self._stale_capacity:
+                self._stale_scores.popitem(last=False)
+
+    def _stale_lookup(self, fingerprint: str):
+        with self._stale_lock:
+            scores = self._stale_scores.get(fingerprint)
+            if scores is not None:
+                self._stale_scores.move_to_end(fingerprint)
+            return scores
 
     def _threshold_for(self, fingerprint: str, scores):
         """Threshold consistent with the exact ``scores`` being returned.
@@ -319,11 +403,17 @@ class Gateway:
             }
 
     def _ensure_monitor(self) -> StreamMonitor:
-        """Build the stream monitor lazily on the first events request."""
+        """Build the stream monitor lazily on the first events request.
+
+        With a WAL directory configured, prior stream state (snapshot +
+        log replay) takes precedence over the ``base_graph`` seed — the
+        log is the durable truth about what this server already ingested.
+        """
         if self.monitor is not None:
             return self.monitor
         if self._base_graph is not None:
-            builder = IncrementalGraphBuilder.from_graph(self._base_graph)
+            names = self._base_graph.relation_names
+            num_features = self._base_graph.num_features
         else:
             detector = self.service.detector
             names = getattr(detector, "_relation_names", None)
@@ -333,10 +423,22 @@ class Gateway:
                     "served checkpoint records no relation schema; start "
                     "the server with an initial --graph snapshot to accept "
                     "events", 409)
-            builder = IncrementalGraphBuilder(relation_names=names,
-                                              num_features=num_features)
-        self.monitor = StreamMonitor(self.service, builder,
-                                     **self._monitor_kwargs)
+        wal = None
+        if self._wal_dir is not None:
+            wal = WriteAheadLog(self._wal_dir, fsync=self._wal_fsync)
+        if wal is not None and (wal.last_seq > 0
+                                or any(wal.directory.glob("snap-*.npz"))):
+            self.monitor = StreamMonitor.recover(
+                self.service, wal, relation_names=names,
+                num_features=num_features, **self._monitor_kwargs)
+        else:
+            if self._base_graph is not None:
+                builder = IncrementalGraphBuilder.from_graph(self._base_graph)
+            else:
+                builder = IncrementalGraphBuilder(relation_names=names,
+                                                  num_features=num_features)
+            self.monitor = StreamMonitor(self.service, builder, wal=wal,
+                                         **self._monitor_kwargs)
         return self.monitor
 
     # ------------------------------------------------------------------
@@ -410,7 +512,7 @@ class Gateway:
         busy = self.batcher.busy_seconds
         capacity = self.batcher.workers * uptime
         sample = self.sampler.refresh()   # health wants fresh RSS, not stale
-        return {
+        components = {
             "service": {
                 "warm": trained is not None and self.service.is_warm(trained),
                 "cache_entries": cache["entries"],
@@ -429,7 +531,12 @@ class Gateway:
             },
             "runtime": sample.to_dict(),
             "slo": self.slo.snapshot(),
+            "breaker": self.breaker.snapshot(),
         }
+        monitor = self.monitor
+        if monitor is not None:
+            components["stream"] = monitor.stats_dict()
+        return components
 
     def metrics_text(self) -> str:
         registry = MetricsRegistry(prefix="repro")
@@ -466,6 +573,34 @@ class Gateway:
         registry.gauge("batcher_largest_batch",
                        "Largest batch answered by one scoring pass.",
                        batcher.largest_batch)
+        registry.counter("batcher_expired_total",
+                         "Score requests dropped on an expired deadline.",
+                         batcher.expired)
+        registry.counter("batcher_worker_crashes_total",
+                         "Batcher workers killed by unexpected exceptions.",
+                         batcher.worker_crashes)
+        registry.counter("batcher_worker_respawns_total",
+                         "Replacement workers started by the watchdog.",
+                         batcher.worker_respawns)
+        registry.counter("batcher_rescued_groups_total",
+                         "Batch groups re-queued after a worker crash.",
+                         batcher.rescued)
+        breaker = self.breaker.snapshot()
+        registry.gauge("breaker_keys",
+                       "Fingerprints tracked by the circuit breaker.",
+                       breaker["keys"])
+        registry.gauge("breaker_open",
+                       "Fingerprints currently tripped open.",
+                       breaker["open"])
+        registry.counter("breaker_trips_total",
+                         "Closed-to-open breaker transitions.",
+                         breaker["trips"])
+        registry.counter("breaker_rejections_total",
+                         "Requests refused by an open breaker.",
+                         breaker["rejections"])
+        registry.counter("degraded_responses_total",
+                         "Score responses served from stale scores.",
+                         self._degraded_served)
         stats = self.service.stats
         registry.counter("service_cache_hits_total",
                          "DetectorService cache hits.", stats.hits)
@@ -496,6 +631,36 @@ class Gateway:
             registry.gauge("monitor_buffered_events",
                            "Events buffered toward the next window.",
                            monitor.buffered)
+            if monitor.wal is not None:
+                wal = monitor.wal.stats
+                registry.counter("wal_appends_total",
+                                 "Records durably appended to the WAL.",
+                                 wal.appends)
+                registry.counter("wal_bytes_total",
+                                 "Bytes written to WAL segments.",
+                                 wal.bytes_written)
+                registry.counter("wal_segments_created_total",
+                                 "WAL segment files created.",
+                                 wal.segments_created)
+                registry.counter("wal_segments_pruned_total",
+                                 "WAL segments deleted after snapshots.",
+                                 wal.segments_pruned)
+                registry.counter("wal_records_replayed_total",
+                                 "Records replayed during recovery.",
+                                 wal.records_replayed)
+                registry.gauge("wal_last_seq",
+                               "Highest WAL sequence number written.",
+                               monitor.wal.last_seq)
+                registry.gauge("wal_recovered",
+                               "1 when the stream state was restored from "
+                               "a WAL at startup.", int(monitor.recovered))
+        chaos_stats = chaos.stats()
+        if chaos_stats:
+            registry.add(
+                "chaos_triggers_total", "counter",
+                "Faults fired by the chaos injection layer, by point.",
+                [({"point": point}, info["triggered"])
+                 for point, info in sorted(chaos_stats.items())])
         with self._hist_lock:
             endpoint_series = [({"endpoint": name}, hist.snapshot())
                                for name, hist
@@ -658,6 +823,12 @@ class Gateway:
     def close(self) -> None:
         self.batcher.close()
         self.sampler.close()
+        monitor = self.monitor
+        if monitor is not None and monitor.wal is not None:
+            # A clean shutdown checkpoints the stream state: restart
+            # recovers instantly from the snapshot with nothing to replay.
+            monitor.checkpoint()
+            monitor.wal.close()
 
 
 __all__ = ["API_VERSION", "Gateway", "GatewayError", "SERVER_NAME"]

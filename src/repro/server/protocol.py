@@ -107,12 +107,21 @@ def parse_nodes(nodes, num_nodes: int) -> Optional[np.ndarray]:
 def score_response(fingerprint: str, scores: np.ndarray, *,
                    nodes: Optional[np.ndarray] = None,
                    top_k: Optional[int] = None,
-                   threshold=None) -> dict:
-    """Assemble the ``/v1/score`` response body (full-precision floats)."""
+                   threshold=None, degraded: bool = False) -> dict:
+    """Assemble the ``/v1/score`` response body (full-precision floats).
+
+    ``degraded=True`` marks a response answered from the stale-score
+    cache while the fingerprint's circuit breaker is open. The key is
+    *absent* on healthy responses — not ``false`` — so response bodies
+    with resilience features enabled but idle stay byte-identical to
+    builds without them.
+    """
     body: dict = {
         "fingerprint": fingerprint,
         "num_nodes": int(scores.size),
     }
+    if degraded:
+        body["degraded"] = True
     if nodes is None:
         body["scores"] = scores.tolist()
     else:

@@ -15,7 +15,11 @@ detector's view of it — current while edge/node/attribute events arrive:
 * :mod:`repro.stream.monitor` — :class:`StreamMonitor`, windowed scoring
   through a :class:`~repro.serve.service.DetectorService` with typed
   alerts (top-k entrants, score jumps, PSI/KS distribution drift) and a
-  pluggable drift-triggered refit policy.
+  pluggable drift-triggered refit policy;
+* :mod:`repro.stream.wal` — :class:`WriteAheadLog`, CRC-framed segmented
+  event logging with periodic builder snapshots and replay-on-startup
+  recovery (:meth:`StreamMonitor.recover`) whose restored fingerprint is
+  bitwise-identical to an uninterrupted run.
 """
 
 from .builder import ApplyStats, IncrementalGraphBuilder
@@ -44,6 +48,17 @@ from .monitor import (
     ks_statistic,
     psi,
 )
+from .wal import (
+    RecoveredState,
+    WalCorruptionError,
+    WalStats,
+    WriteAheadLog,
+    load_latest_snapshot,
+    recover_builder,
+    save_snapshot,
+    snapshot_meta,
+    verify_parity,
+)
 
 __all__ = [
     "AddEdge",
@@ -53,6 +68,7 @@ __all__ = [
     "DriftAlert",
     "Event",
     "IncrementalGraphBuilder",
+    "RecoveredState",
     "RefitAlert",
     "RemoveEdge",
     "ScoreJump",
@@ -60,13 +76,21 @@ __all__ = [
     "StreamTruth",
     "TopKEntrant",
     "UpdateAttr",
+    "WalCorruptionError",
+    "WalStats",
     "WindowReport",
+    "WriteAheadLog",
     "alert_dict",
     "bootstrap_events",
     "ks_statistic",
+    "load_latest_snapshot",
     "parse_event",
     "psi",
     "read_events",
+    "recover_builder",
+    "save_snapshot",
+    "snapshot_meta",
     "synthesize_stream",
+    "verify_parity",
     "write_events",
 ]

@@ -41,6 +41,13 @@ from ..obs.trace import span
 from ..serve.service import DetectorService
 from .builder import IncrementalGraphBuilder
 from .events import Event
+from .wal import (
+    _SNAPSHOT_GLOB,
+    WriteAheadLog,
+    recover_builder,
+    save_snapshot,
+    snapshot_meta,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -245,6 +252,17 @@ class StreamMonitor:
         Minimum number of windows between refits.
     history:
         How many recent windows of scores to keep for trajectories.
+    wal:
+        Optional :class:`~repro.stream.wal.WriteAheadLog`. Every ingested
+        batch is durably logged *before* it is buffered, and a ``window``
+        marker (carrying the builder fingerprint and monitor counters) is
+        written after each scored window — the invariants
+        :meth:`recover` relies on. A monitor whose WAL is empty writes an
+        initial snapshot of a non-empty seed builder, so recovery never
+        needs the original base graph.
+    snapshot_every:
+        Windows between builder snapshots (WAL segments covered by a
+        snapshot are pruned). 0 disables periodic snapshots.
     """
 
     def __init__(self, service: DetectorService,
@@ -254,7 +272,9 @@ class StreamMonitor:
                  psi_threshold: float = 0.25, psi_bins: int = 10,
                  max_jump_alerts: int = 20,
                  refit: Optional[Callable[..., BaseDetector]] = None,
-                 refit_cooldown: int = 5, history: int = 32):
+                 refit_cooldown: int = 5, history: int = 32,
+                 wal: Optional[WriteAheadLog] = None,
+                 snapshot_every: int = 10):
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
         stride = window if stride is None else stride
@@ -288,20 +308,87 @@ class StreamMonitor:
         self._recent: Deque[Tuple[np.ndarray, set]] = deque(
             maxlen=max(1, round(self.window / self.stride)))
         self._last_refit_window = -10**9
+        self.wal = wal
+        self.snapshot_every = int(snapshot_every)
+        #: True when this monitor's state was restored from disk
+        self.recovered = False
+        if wal is not None and wal.last_seq == 0 \
+                and builder.num_nodes > 0 \
+                and not any(wal.directory.glob(_SNAPSHOT_GLOB)):
+            # A builder seeded from a base graph is not reconstructible
+            # from the (empty) WAL alone: checkpoint it now, or the first
+            # crash would be unrecoverable.
+            self._write_snapshot()
 
     # ------------------------------------------------------------------
+    @classmethod
+    def recover(cls, service: DetectorService, wal: WriteAheadLog, *,
+                relation_names: Optional[List[str]] = None,
+                num_features: Optional[int] = None,
+                verify_fingerprints: bool = True,
+                **monitor_kwargs) -> "StreamMonitor":
+        """Rebuild a monitor from ``wal``'s snapshot + record replay.
+
+        The restored builder fingerprint is bitwise-identical to the
+        crashed run's (events past the last window marker come back as
+        the pending buffer, exactly as they were buffered pre-crash).
+        ``relation_names``/``num_features`` are only needed when no
+        snapshot exists yet. Extra kwargs go to the constructor.
+        """
+        state = recover_builder(wal, relation_names=relation_names,
+                                num_features=num_features,
+                                verify_fingerprints=verify_fingerprints)
+        monitor = cls(service, state.builder, wal=wal, **monitor_kwargs)
+        monitor.windows_scored = state.windows_scored
+        monitor.events_consumed = state.events_consumed
+        monitor.alerts_raised = state.alerts_raised
+        monitor._buffer = list(state.pending)
+        monitor.recovered = state.recovered
+        return monitor
+
+    # ------------------------------------------------------------------
+    def ingest(self, events: Iterable[Event]) -> List[WindowReport]:
+        """Durably log one ingested batch, then buffer it, scoring every
+        window that fills. This is the WAL-ordered write path: events are
+        on disk before any of them can affect monitor state. Batches that
+        span several windows are logged in window-sized chunks so no WAL
+        record ever crosses a ``window`` marker — the invariant that lets
+        a mid-batch snapshot record an empty pending buffer."""
+        events = list(events)
+        reports: List[WindowReport] = []
+        start = 0
+        while start < len(events):
+            chunk = events[start:start + self.stride - len(self._buffer)]
+            start += len(chunk)
+            if self.wal is not None:
+                self.wal.append(
+                    "events",
+                    {"events": [event.to_dict() for event in chunk]})
+            self._buffer.extend(chunk)
+            if len(self._buffer) >= self.stride:
+                reports.append(self._score_window(self._buffer))
+                self._buffer = []
+        return reports
+
     def run(self, events: Iterable[Event]) -> Iterator[WindowReport]:
         """Lazily consume ``events``, yielding a report every ``stride``
-        events. Call :meth:`flush` afterwards to score a partial tail."""
+        events. Call :meth:`flush` afterwards to score a partial tail.
+        With a WAL, events are logged in stride-sized batches."""
+        batch: List[Event] = []
         for event in events:
-            self._buffer.append(event)
-            if len(self._buffer) >= self.stride:
-                yield self._score_window(self._buffer)
-                self._buffer = []
+            batch.append(event)
+            if len(batch) >= self.stride:
+                for report in self.ingest(batch):
+                    yield report
+                batch = []
+        if batch:
+            for report in self.ingest(batch):
+                yield report
 
     def process(self, events: Iterable[Event]) -> List[WindowReport]:
-        """Eager version of :meth:`run` (no tail flush)."""
-        return list(self.run(events))
+        """Eager version of :meth:`run` (no tail flush); logs ``events``
+        as a single WAL record."""
+        return self.ingest(events)
 
     def flush(self) -> Optional[WindowReport]:
         """Score whatever partial window is buffered, if anything."""
@@ -310,6 +397,30 @@ class StreamMonitor:
         report = self._score_window(self._buffer)
         self._buffer = []
         return report
+
+    def checkpoint(self) -> None:
+        """Snapshot current state to the WAL directory (e.g. at shutdown).
+
+        Buffered-but-unscored events are stored inside the snapshot, so
+        a clean shutdown leaves nothing to replay."""
+        if self.wal is not None:
+            self._write_snapshot()
+
+    def _write_snapshot(self, snapshot=None,
+                        pending: Optional[List[Event]] = None) -> None:
+        """Checkpoint builder state at the WAL's current head."""
+        if self.builder.num_nodes == 0:
+            return
+        if snapshot is None:
+            snapshot = self.builder.snapshot()
+        meta = snapshot_meta(
+            self.builder, record_seq=self.wal.last_seq,
+            windows_scored=self.windows_scored,
+            events_consumed=self.events_consumed,
+            alerts_raised=self.alerts_raised,
+            pending=self._buffer if pending is None else pending)
+        save_snapshot(self.wal.directory, snapshot, meta)
+        self.wal.prune(self.wal.last_seq)
 
     def trajectory(self, node: int) -> List[Tuple[int, float]]:
         """``(window_index, score)`` history of one node (recent windows)."""
@@ -323,13 +434,17 @@ class StreamMonitor:
 
     def stats_dict(self) -> Dict[str, int]:
         """JSON-able monitor counters (the serve gateway's /metrics feed)."""
-        return {
+        stats = {
             "events_consumed": self.events_consumed,
             "windows_scored": self.windows_scored,
             "alerts_raised": self.alerts_raised,
             "buffered": self.buffered,
             "num_nodes": self.builder.num_nodes,
         }
+        if self.wal is not None:
+            stats["recovered"] = int(self.recovered)
+            stats["wal_last_seq"] = self.wal.last_seq
+        return stats
 
     # ------------------------------------------------------------------
     def _score_window(self, batch: List[Event]) -> WindowReport:
@@ -423,6 +538,22 @@ class StreamMonitor:
         self._recent.append((scores, current_top))
         self.windows_scored += 1
         self.alerts_raised += len(alerts)
+
+        if self.wal is not None:
+            # The marker commits this window: recovery applies the logged
+            # events up to here and verifies the same fingerprint. A crash
+            # between apply and this append replays the window's events as
+            # pending (at-least-once scoring, never lost, never doubled
+            # into the builder).
+            self.wal.append("window", {
+                "fingerprint": fingerprint,
+                "windows_scored": self.windows_scored,
+                "events_consumed": self.events_consumed,
+                "alerts_raised": self.alerts_raised,
+            })
+            if self.snapshot_every and \
+                    self.windows_scored % self.snapshot_every == 0:
+                self._write_snapshot(snapshot, pending=[])
 
         report = WindowReport(
             index=index,

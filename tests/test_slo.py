@@ -261,7 +261,8 @@ class TestGatewaySLO:
             assert "components" not in shallow
             deep = gateway.health(deep=True)
             comps = deep["components"]
-            assert set(comps) == {"service", "batcher", "runtime", "slo"}
+            assert set(comps) == {"service", "batcher", "runtime", "slo",
+                                  "breaker"}
             assert comps["batcher"]["workers"] == 2
             assert comps["batcher"]["utilization"] >= 0.0
             assert comps["runtime"]["rss_bytes"] > 0
