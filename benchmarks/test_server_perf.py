@@ -15,10 +15,18 @@ the in-process fast paths:
   admission queue, excess load must come back as HTTP 429 (and the server
   must keep answering afterwards). Never a deadlock, never a silently
   dropped connection.
+* **process-tier fan-out** — a herd of *distinct*-fingerprint requests
+  (no coalescing relief: every request is its own scoring pass) run
+  against the thread tier and the process-pool tier. Scores must be
+  bitwise identical between tiers on every graph; on machines with >= 4
+  cores the process tier must clear >= 2x the thread tier's throughput,
+  because only forked workers escape the GIL for the pure-Python parts
+  of a scoring pass.
 """
 
 import http.client
 import json
+import os
 import threading
 import time
 
@@ -31,6 +39,7 @@ from repro.datasets import load_dataset
 from repro.detection import BaseDetector
 from repro.graphs import random_multiplex
 from repro.obs.bench import BenchmarkRecord
+from repro.pool import list_segments, shm_available
 from repro.serve import DetectorService, save_checkpoint
 from repro.utils import Timer
 from repro.server import (
@@ -43,6 +52,8 @@ from repro.server import (
 
 CONCURRENT_REQUESTS = 16
 SERIAL_REQUESTS = 8
+DISTINCT_HERD = 8
+POOL_WORKERS = 4
 
 
 def _encode_score_request(graph) -> bytes:
@@ -172,6 +183,100 @@ def test_coalesced_throughput_vs_serial(checkpoint, profile, output_dir,
     # the acceptance bar: the micro-batched herd clears >= 3x the serial
     # per-request throughput on the same warm server
     assert speedup >= 3.0, report
+
+
+@pytest.mark.skipif(not shm_available(),
+                    reason="POSIX shared memory unavailable")
+def test_process_tier_distinct_herd(checkpoint, profile, output_dir, ledger):
+    """Distinct-fingerprint herd: process pool vs thread tier.
+
+    Every request carries a different graph, so coalescing and the LRU
+    cache give no relief — each request is one full scoring pass, the
+    workload the process tier exists for. Parity is asserted always;
+    the >= 2x throughput bar only where there are cores to win with.
+    """
+    herd_graphs = [
+        load_dataset("retail", scale=profile.dataset_scale,
+                     num_features=profile.num_features,
+                     seed=profile.data_seed + 50 + i).graph
+        for i in range(DISTINCT_HERD)
+    ]
+    warm_body = _encode_score_request(
+        load_dataset("retail", scale=profile.dataset_scale,
+                     num_features=profile.num_features,
+                     seed=profile.data_seed + 49).graph)
+    herd_bodies = [_encode_score_request(graph) for graph in herd_graphs]
+
+    def run_tier(exec_tier):
+        service = DetectorService(checkpoint, match_dtype=False,
+                                  cache_size=2 * DISTINCT_HERD)
+        gateway = Gateway(service, workers=POOL_WORKERS, linger_ms=0.0,
+                          max_queue=4 * DISTINCT_HERD,
+                          exec_tier=exec_tier, worker_procs=POOL_WORKERS)
+        if exec_tier == "process":
+            assert gateway.pool is not None, gateway.pool_fallback_reason
+        scores = [None] * DISTINCT_HERD
+        statuses = []
+        lock = threading.Lock()
+        timer = Timer()
+        with ServerThread(gateway) as server:
+            status, _body = _post_score(server.port, warm_body)
+            assert status == 200      # pay one-time numpy/import warmup
+
+            barrier = threading.Barrier(DISTINCT_HERD + 1)
+
+            def load_generator(index):
+                barrier.wait(timeout=30.0)
+                status, decoded = _post_score(server.port,
+                                              herd_bodies[index])
+                with lock:
+                    statuses.append(status)
+                scores[index] = np.asarray(decoded["scores"])
+
+            threads = [threading.Thread(target=load_generator, args=(i,))
+                       for i in range(DISTINCT_HERD)]
+            for thread in threads:
+                thread.start()
+            barrier.wait(timeout=30.0)
+            with timer.measure(f"{exec_tier}_herd"):
+                for thread in threads:
+                    thread.join(timeout=300.0)
+        assert set(statuses) == {200}
+        elapsed = timer.total(f"{exec_tier}_herd")
+        ledger.record_timing(timer.result(f"{exec_tier}_herd"),
+                             requests=DISTINCT_HERD)
+        pool_stats = gateway.pool.stats() if gateway.pool else {}
+        return elapsed, scores, pool_stats
+
+    thread_seconds, thread_scores, _ = run_tier("thread")
+    process_seconds, process_scores, pool_stats = run_tier("process")
+    # the pool actually served the herd, and shut down without leaking
+    assert pool_stats["dispatches"] >= DISTINCT_HERD
+    assert list_segments() == []
+
+    # parity is unconditional: forked workers scoring out of shared
+    # memory must be bit-for-bit the thread tier
+    for thread_result, process_result in zip(thread_scores, process_scores):
+        np.testing.assert_array_equal(thread_result, process_result)
+
+    thread_throughput = DISTINCT_HERD / thread_seconds
+    process_throughput = DISTINCT_HERD / process_seconds
+    speedup = process_throughput / thread_throughput
+    cores = os.cpu_count() or 1
+    report = "\n".join([
+        f"{DISTINCT_HERD} distinct-fingerprint requests, "
+        f"{POOL_WORKERS} workers per tier, {cores} cores",
+        f"thread tier   {thread_seconds:.2f}s "
+        f"({thread_throughput:.1f} req/s)",
+        f"process tier  {process_seconds:.2f}s "
+        f"({process_throughput:.1f} req/s, "
+        f"{pool_stats['dispatches']} dispatches)",
+        f"process/thread speedup: {speedup:.2f}x",
+    ])
+    save_and_echo(output_dir, "server_perf_pool", report)
+    if cores >= POOL_WORKERS:
+        # fork fan-out must beat the GIL where there are cores to use
+        assert speedup >= 2.0, report
 
 
 class SlowDetector(BaseDetector):

@@ -18,6 +18,8 @@ Instrumented sites (grep for :func:`fail_point`)::
     batcher.batch       inside one batch's scoring try (fails the batch)
     gateway.score       Gateway.score entry (stage latency)
     http.reset          HTTP handler (connection reset, no response)
+    pool.dispatch       ProcessPool.score before sending to a worker
+    pool.worker         pool worker process before scoring a batch
 
 Faults are configured programmatically (:func:`configure`) or from the
 environment at import time::

@@ -177,8 +177,20 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8765,
                        help="TCP port (0 picks an ephemeral port)")
-    serve.add_argument("--workers", type=int, default=2,
-                       help="micro-batch worker threads")
+    serve.add_argument("--worker-threads", "--workers", type=int, default=2,
+                       dest="workers", metavar="N",
+                       help="micro-batch worker threads (--workers is a "
+                            "deprecated alias, kept for compatibility)")
+    serve.add_argument("--worker-procs", type=int, default=2, metavar="N",
+                       help="scoring worker processes for "
+                            "--exec-tier process")
+    serve.add_argument("--exec-tier", choices=("thread", "process"),
+                       default="thread",
+                       help="scoring execution tier: 'thread' scores "
+                            "in-process; 'process' forks --worker-procs "
+                            "scorers over a shared-memory checkpoint "
+                            "(falls back to threads when shm is "
+                            "unavailable)")
     serve.add_argument("--max-queue", type=int, default=64,
                        help="admission bound: pending requests beyond this "
                             "are refused with 429")
@@ -617,19 +629,32 @@ def _run_serve(args) -> int:
                       slo_sustain=args.slo_sustain,
                       sample_interval=args.sample_interval,
                       wal_dir=args.wal_dir,
-                      snapshot_every=args.snapshot_every)
+                      snapshot_every=args.snapshot_every,
+                      exec_tier=args.exec_tier,
+                      worker_procs=args.worker_procs)
+    if args.exec_tier == "process" and gateway.exec_tier != "process":
+        print(f"process tier unavailable, serving on threads: "
+              f"{gateway.pool_fallback_reason}", flush=True)
     server = make_server(gateway, host=args.host, port=args.port,
                          verbose=args.verbose)
     # The resolved port line is machine-readable on purpose: --port 0
     # callers (CI smoke, scripts) parse it to find the ephemeral port.
+    tier = (f" ({gateway.exec_tier} tier, "
+            f"{gateway.pool.size} procs)" if gateway.pool is not None
+            else "")
     print(f"serving {type(service.detector).__name__} "
-          f"on {server.url}", flush=True)
+          f"on {server.url}{tier}", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("shutting down")
     finally:
-        server.close()
+        report = server.close()
+        batcher = report.get("batcher", {})
+        pool = report.get("pool", {})
+        if batcher.get("leaked_workers") or pool.get("workers_killed") \
+                or pool.get("leaked_segments"):
+            print(f"dirty shutdown: {report}", file=sys.stderr, flush=True)
     return 0
 
 

@@ -92,9 +92,12 @@ class RuntimeSample:
     open_fds: Optional[int]
     threads: int
     gc_stats: Tuple[dict, ...]
+    #: per-worker snapshots from the process pool's probe (empty when the
+    #: server runs the thread tier)
+    pool_workers: Tuple[dict, ...] = ()
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "unix_time": self.unix_time,
             "rss_bytes": self.rss_bytes,
             "peak_rss_bytes": self.peak_rss_bytes,
@@ -102,10 +105,28 @@ class RuntimeSample:
             "threads": self.threads,
             "gc": [dict(stat) for stat in self.gc_stats],
         }
+        if self.pool_workers:
+            payload["pool_workers"] = [dict(info)
+                                       for info in self.pool_workers]
+        return payload
 
 
-def capture_sample() -> RuntimeSample:
-    """Snapshot the process right now (a handful of ``/proc`` reads)."""
+def capture_sample(pool_probe=None) -> RuntimeSample:
+    """Snapshot the process right now (a handful of ``/proc`` reads).
+
+    ``pool_probe`` is an optional zero-argument callable returning a list
+    of per-worker info dicts (``repro.pool.ProcessPool.worker_infos``);
+    its result rides along in :attr:`RuntimeSample.pool_workers` so the
+    scoring workers' RSS and liveness are sampled on the same cadence as
+    the leader's own telemetry. A probe that raises is treated as absent
+    — pool teardown must not break the sampler.
+    """
+    pool_workers: Tuple[dict, ...] = ()
+    if pool_probe is not None:
+        try:
+            pool_workers = tuple(pool_probe())
+        except Exception:  # pragma: no cover - probe raced a shutdown
+            pool_workers = ()
     return RuntimeSample(
         unix_time=time.time(),
         rss_bytes=rss_bytes(),
@@ -113,6 +134,7 @@ def capture_sample() -> RuntimeSample:
         open_fds=open_fd_count(),
         threads=threading.active_count(),
         gc_stats=gc_generation_stats(),
+        pool_workers=pool_workers,
     )
 
 
@@ -125,10 +147,13 @@ class RuntimeSampler:
     thread starts lazily on :meth:`start` and stops via :meth:`close`.
     """
 
-    def __init__(self, interval: float = 5.0):
+    def __init__(self, interval: float = 5.0, pool_probe=None):
         if interval <= 0:
             raise ValueError(f"interval must be > 0, got {interval}")
         self.interval = float(interval)
+        #: optional callable returning per-worker pool info dicts,
+        #: forwarded to :func:`capture_sample` on every tick
+        self.pool_probe = pool_probe
         self._lock = threading.Lock()
         self._latest: Optional[RuntimeSample] = None
         self._stop = threading.Event()
@@ -141,7 +166,7 @@ class RuntimeSampler:
     # ------------------------------------------------------------------
     def _capture(self) -> RuntimeSample:
         start = time.perf_counter()
-        sample = capture_sample()
+        sample = capture_sample(self.pool_probe)
         elapsed = time.perf_counter() - start
         with self._lock:
             self._latest = sample

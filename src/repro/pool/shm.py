@@ -1,0 +1,494 @@
+"""POSIX shared-memory checkpoint segments for the process scoring tier.
+
+One machine runs N scoring worker processes, but the model only exists
+**once**: the leader publishes the active checkpoint's payload arrays
+(model weights, fitted scores, threshold curve) into named
+``multiprocessing.shared_memory`` segments and hands workers a JSON-able
+*manifest* — segment names, dtypes, shapes. A worker attaches by name and
+reconstructs every array as a **zero-copy view** over the mapped segment
+(:class:`SharedCheckpoint`), so forking 4 or 32 workers costs four or
+thirty-two page-table entries, not four or thirty-two copies of the
+weights.
+
+Lifecycle is explicit because shm segments outlive processes:
+
+* **Generations** — every hot-swap publishes a fresh generation of
+  segments (:class:`SharedModelStore`); in-flight batches hold a
+  *reference* on the generation their worker is serving, and a retired
+  generation is unlinked only when its last reference drains. Workers
+  therefore never observe weights changing under a running scoring pass.
+* **Ownership** — only the leader (the process that ``create=True``'d the
+  segments) unlinks them. Workers merely close their mappings, so a
+  worker killed with SIGKILL leaks nothing: its mappings die with it and
+  the leader still owns the names.
+* **Stale reclamation** — segment names embed the owning pid
+  (``repro-pool-<pid>-g<gen>-<idx>``). :func:`reclaim_stale_segments`
+  scans for segments whose owner is dead — a leader that crashed before
+  ``close()`` — and unlinks them at the next startup.
+
+Everything degrades gracefully: :func:`shm_available` probes whether the
+platform actually supports POSIX shared memory, and the serving gateway
+falls back to the thread tier when it does not.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import re
+import threading
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+try:
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - platforms without _posixshmem
+    _shared_memory = None  # type: ignore[assignment]
+
+#: every segment this module creates starts with this prefix
+SHM_PREFIX = "repro-pool"
+
+#: where the kernel exposes POSIX shm segments as files (Linux)
+_SHM_DIR = "/dev/shm"
+
+_SEGMENT_RE = re.compile(
+    rf"^{SHM_PREFIX}-(?P<pid>\d+)-g(?P<gen>\d+)-(?P<idx>\d+)$")
+
+
+class SharedMemoryError(RuntimeError):
+    """Publishing or attaching shared checkpoint segments failed."""
+
+
+def shm_available() -> bool:
+    """True when POSIX shared memory works on this platform.
+
+    Probes by actually creating (and immediately unlinking) a 1-byte
+    segment — import success alone does not guarantee a usable
+    ``/dev/shm`` inside minimal containers.
+    """
+    if _shared_memory is None:
+        return False
+    try:
+        probe = _shared_memory.SharedMemory(create=True, size=1)
+    except (OSError, ValueError):
+        return False
+    try:
+        probe.close()
+        probe.unlink()
+    except OSError:  # pragma: no cover - probe cleanup best effort
+        pass
+    return True
+
+
+def segment_name(pid: int, generation: int, index: int) -> str:
+    """The on-disk segment name: owner pid + generation + array index."""
+    return f"{SHM_PREFIX}-{int(pid)}-g{int(generation)}-{int(index)}"
+
+
+@contextmanager
+def _suppress_tracking():
+    """Keep ``SharedMemory`` attaches out of the resource tracker.
+
+    On Python < 3.13 every ``SharedMemory()`` — attach included —
+    registers the segment with the resource tracker. For worker
+    processes attaching segments the *leader* owns that is exactly
+    wrong twice over: a spawn-mode worker's tracker would unlink the
+    leader's live segments when the worker exits, and a fork-mode worker
+    shares the leader's tracker (whose cache is a set), so any
+    compensating unregister strips the leader's own registration and the
+    leader's eventual ``unlink()`` dies with a tracker KeyError.
+    Suppressing registration during attach restores single-owner
+    semantics: only the creating process tracks the segment.
+    """
+    try:
+        from multiprocessing import resource_tracker
+    except ImportError:  # pragma: no cover - no tracker, nothing to do
+        yield
+        return
+    original = resource_tracker.register
+
+    def _register(name, rtype):
+        if rtype != "shared_memory":  # pragma: no cover - other resources
+            original(name, rtype)
+
+    resource_tracker.register = _register
+    try:
+        yield
+    finally:
+        resource_tracker.register = original
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - someone else's pid
+        return True
+    except OSError:  # pragma: no cover
+        return False
+    return True
+
+
+def list_segments(prefix: str = SHM_PREFIX) -> List[str]:
+    """Names of live pool segments visible on this machine (Linux)."""
+    try:
+        entries = os.listdir(_SHM_DIR)
+    except OSError:
+        return []
+    return sorted(name for name in entries if name.startswith(prefix))
+
+
+def reclaim_stale_segments() -> List[str]:
+    """Unlink pool segments whose owning process is dead.
+
+    A leader that crashed (or was SIGKILLed) before :meth:`SharedModelStore.close`
+    leaves its segments pinned in ``/dev/shm`` forever. Segment names
+    embed the owner pid, so startup can tell an orphan from a segment a
+    *running* server still owns — only the former are reclaimed. Returns
+    the reclaimed names.
+    """
+    reclaimed: List[str] = []
+    if _shared_memory is None:
+        return reclaimed
+    for name in list_segments():
+        match = _SEGMENT_RE.match(name)
+        if match is None or _pid_alive(int(match.group("pid"))):
+            continue
+        try:
+            # Attach registers with the tracker, unlink() unregisters —
+            # balanced, so no suppression here.
+            segment = _shared_memory.SharedMemory(name=name)
+        except (OSError, ValueError):  # pragma: no cover - raced away
+            continue
+        try:
+            segment.close()
+            segment.unlink()
+        except OSError:  # pragma: no cover - raced away
+            continue
+        reclaimed.append(name)
+    return reclaimed
+
+
+class SharedCheckpoint:
+    """One checkpoint's payload arrays mapped into named shm segments.
+
+    Built either by :meth:`publish` (leader: creates + copies once) or
+    :meth:`attach` (worker: maps the leader's segments zero-copy). The
+    reconstructed arrays are **read-only views** over the segment buffers
+    — N attached workers share one physical copy of the weights, and an
+    accidental in-place write in a scoring kernel raises instead of
+    corrupting every sibling's model.
+    """
+
+    def __init__(self, manifest: dict, segments: List[object],
+                 arrays: Dict[str, np.ndarray], owner: bool):
+        self.manifest = manifest
+        self._segments = segments
+        self._arrays = arrays
+        self.owner = owner
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def publish(cls, header: dict, payload: Dict[str, np.ndarray],
+                generation: int, pid: Optional[int] = None) -> "SharedCheckpoint":
+        """Copy ``payload`` into fresh shm segments (leader side)."""
+        if _shared_memory is None:
+            raise SharedMemoryError(
+                "multiprocessing.shared_memory is unavailable on this "
+                "platform")
+        pid = os.getpid() if pid is None else int(pid)
+        segments: List[object] = []
+        arrays: Dict[str, np.ndarray] = {}
+        entries: Dict[str, dict] = {}
+        try:
+            for index, name in enumerate(sorted(payload)):
+                value = np.ascontiguousarray(payload[name])
+                seg_name = segment_name(pid, generation, index)
+                try:
+                    segment = _shared_memory.SharedMemory(
+                        name=seg_name, create=True,
+                        size=max(int(value.nbytes), 1))
+                except OSError as exc:
+                    if exc.errno == errno.EEXIST:
+                        # A previous same-pid generation wasn't unlinked
+                        # (crash mid-publish); reclaim the name.
+                        stale = _shared_memory.SharedMemory(name=seg_name)
+                        stale.close()
+                        stale.unlink()
+                        segment = _shared_memory.SharedMemory(
+                            name=seg_name, create=True,
+                            size=max(int(value.nbytes), 1))
+                    else:
+                        raise
+                segments.append(segment)
+                view = np.ndarray(value.shape, dtype=value.dtype,
+                                  buffer=segment.buf)
+                if value.size:
+                    view[...] = value
+                view.flags.writeable = False
+                arrays[name] = view
+                entries[name] = {
+                    "segment": seg_name,
+                    "dtype": str(value.dtype),
+                    "shape": list(value.shape),
+                }
+        except (OSError, ValueError) as exc:
+            for segment in segments:
+                try:
+                    segment.close()
+                    segment.unlink()
+                except OSError:  # pragma: no cover
+                    pass
+            raise SharedMemoryError(
+                f"publishing shared checkpoint failed: {exc}") from exc
+        manifest = {
+            "prefix": SHM_PREFIX,
+            "pid": pid,
+            "generation": int(generation),
+            "header": dict(header),
+            "arrays": entries,
+        }
+        return cls(manifest, segments, arrays, owner=True)
+
+    @classmethod
+    def attach(cls, manifest: dict) -> "SharedCheckpoint":
+        """Map a published manifest's segments zero-copy (worker side)."""
+        if _shared_memory is None:
+            raise SharedMemoryError(
+                "multiprocessing.shared_memory is unavailable on this "
+                "platform")
+        segments: List[object] = []
+        arrays: Dict[str, np.ndarray] = {}
+        try:
+            with _suppress_tracking():
+                for name, entry in manifest["arrays"].items():
+                    segment = _shared_memory.SharedMemory(
+                        name=entry["segment"])
+                    segments.append(segment)
+                    view = np.ndarray(tuple(entry["shape"]),
+                                      dtype=np.dtype(entry["dtype"]),
+                                      buffer=segment.buf)
+                    view.flags.writeable = False
+                    arrays[name] = view
+        except (OSError, ValueError, KeyError) as exc:
+            for segment in segments:
+                try:
+                    segment.close()
+                except OSError:  # pragma: no cover
+                    pass
+            raise SharedMemoryError(
+                f"attaching shared checkpoint failed: {exc}") from exc
+        return cls(dict(manifest), segments, arrays, owner=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def header(self) -> dict:
+        return self.manifest["header"]
+
+    @property
+    def generation(self) -> int:
+        return int(self.manifest["generation"])
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of payload mapped (== physical bytes, once per machine)."""
+        return int(sum(view.nbytes for view in self._arrays.values()))
+
+    @property
+    def num_segments(self) -> int:
+        return len(self._segments)
+
+    def arrays(self) -> Dict[str, np.ndarray]:
+        """Name → read-only zero-copy array view over the segments."""
+        if self._closed:
+            raise SharedMemoryError("shared checkpoint is closed")
+        return dict(self._arrays)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop this process's mappings (does NOT unlink the segments)."""
+        if self._closed:
+            return
+        self._closed = True
+        # The numpy views borrow the segment buffers; drop them before
+        # closing or SharedMemory.close() raises BufferError.
+        self._arrays = {}
+        for segment in self._segments:
+            try:
+                segment.close()
+            except (OSError, BufferError):  # pragma: no cover
+                pass
+
+    def unlink(self) -> None:
+        """Remove the segments from the machine (owner/leader only)."""
+        if not self.owner:
+            raise SharedMemoryError(
+                "only the publishing process may unlink shared segments")
+        self.close()
+        for entry in self.manifest["arrays"].values():
+            if _shared_memory is None:  # pragma: no cover
+                break
+            try:
+                # Reopen registers (a set-dedup no-op here — publish
+                # already registered the name) and unlink() unregisters,
+                # leaving the tracker cache balanced.
+                segment = _shared_memory.SharedMemory(name=entry["segment"])
+            except (OSError, ValueError):
+                continue
+            try:
+                segment.close()
+                segment.unlink()
+            except OSError:  # pragma: no cover - raced away
+                pass
+
+
+class _Generation:
+    """Leader-side bookkeeping for one published checkpoint generation."""
+
+    __slots__ = ("checkpoint", "refs", "retired")
+
+    def __init__(self, checkpoint: SharedCheckpoint):
+        self.checkpoint = checkpoint
+        self.refs = 0
+        self.retired = False
+
+
+class SharedModelStore:
+    """Refcounted, hot-swappable store of published checkpoint generations.
+
+    ``publish()`` maps a new checkpoint payload into shm and *retires*
+    every older generation; a retired generation's segments stay linked
+    (and attachable) until its last outstanding reference — one per
+    in-flight dispatched batch — is released. That is the contract that
+    makes ``POST /v1/models/{name}/activate`` atomic from a worker's
+    point of view: batches already running keep reading the weights they
+    started with, new dispatches see the new generation.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._generations: Dict[int, _Generation] = {}
+        self._current: Optional[int] = None
+        self._next_generation = 1
+        self._closed = False
+        #: generations whose segments were actually unlinked (telemetry)
+        self.retired_unlinked = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def current_generation(self) -> Optional[int]:
+        with self._lock:
+            return self._current
+
+    @property
+    def generations_live(self) -> int:
+        with self._lock:
+            return len(self._generations)
+
+    def publish(self, header: dict, payload: Dict[str, np.ndarray]) -> dict:
+        """Publish a new generation; retire (and maybe unlink) older ones.
+
+        Returns the new generation's manifest (JSON-able; what workers
+        attach from).
+        """
+        with self._lock:
+            if self._closed:
+                raise SharedMemoryError("shared model store is closed")
+            generation = self._next_generation
+            self._next_generation += 1
+        checkpoint = SharedCheckpoint.publish(header, payload, generation)
+        drop: List[SharedCheckpoint] = []
+        with self._lock:
+            self._generations[generation] = _Generation(checkpoint)
+            self._current = generation
+            for gen_id, gen in list(self._generations.items()):
+                if gen_id == generation:
+                    continue
+                gen.retired = True
+                if gen.refs == 0:
+                    drop.append(gen.checkpoint)
+                    del self._generations[gen_id]
+                    self.retired_unlinked += 1
+        for old in drop:
+            old.unlink()
+        return checkpoint.manifest
+
+    def manifest(self) -> dict:
+        """The current generation's manifest."""
+        with self._lock:
+            if self._current is None:
+                raise SharedMemoryError("no generation published yet")
+            return self._generations[self._current].checkpoint.manifest
+
+    # ------------------------------------------------------------------
+    def acquire(self, generation: Optional[int] = None) -> int:
+        """Take a reference on ``generation`` (default: current).
+
+        A dispatched batch holds one reference for its whole flight, so
+        a concurrent hot-swap cannot unlink the weights under it.
+        """
+        with self._lock:
+            gen_id = self._current if generation is None else int(generation)
+            gen = self._generations.get(gen_id) if gen_id is not None else None
+            if gen is None:
+                raise SharedMemoryError(
+                    f"generation {gen_id!r} is not live")
+            gen.refs += 1
+            return gen_id
+
+    def release(self, generation: int) -> None:
+        """Drop a reference; unlink the generation when retired + drained."""
+        drop: Optional[SharedCheckpoint] = None
+        with self._lock:
+            gen = self._generations.get(int(generation))
+            if gen is None:
+                return
+            gen.refs = max(0, gen.refs - 1)
+            if gen.retired and gen.refs == 0:
+                drop = gen.checkpoint
+                del self._generations[int(generation)]
+                self.retired_unlinked += 1
+        if drop is not None:
+            drop.unlink()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "generation": self._current or 0,
+                "generations_live": len(self._generations),
+                "segments": sum(g.checkpoint.num_segments
+                                for g in self._generations.values()),
+                "bytes": sum(g.checkpoint.nbytes
+                             for g in self._generations.values()),
+                "refs": sum(g.refs for g in self._generations.values()),
+                "retired_unlinked": self.retired_unlinked,
+            }
+
+    def close(self) -> None:
+        """Unlink every generation regardless of refs (shutdown path)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            generations = list(self._generations.values())
+            self._generations.clear()
+            self._current = None
+        for gen in generations:
+            gen.checkpoint.unlink()
+
+
+__all__ = [
+    "SHM_PREFIX",
+    "SharedCheckpoint",
+    "SharedMemoryError",
+    "SharedModelStore",
+    "list_segments",
+    "reclaim_stale_segments",
+    "segment_name",
+    "shm_available",
+]

@@ -15,7 +15,9 @@ from .bench import ServeBenchResult, run_serve_bench
 from .checkpoint import (
     FORMAT_VERSION,
     CheckpointError,
+    checkpoint_payload,
     detector_classes,
+    detector_from_payload,
     load_checkpoint,
     read_header,
     save_checkpoint,
@@ -32,7 +34,9 @@ __all__ = [
     "ServeBenchResult",
     "ServiceError",
     "ServiceStats",
+    "checkpoint_payload",
     "detector_classes",
+    "detector_from_payload",
     "load_checkpoint",
     "read_header",
     "run_serve_bench",

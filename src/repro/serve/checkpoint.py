@@ -125,13 +125,17 @@ def _split_detector(detector: BaseDetector) -> Tuple[Dict[str, object],
 # Save
 # ---------------------------------------------------------------------------
 
-def save_checkpoint(path, detector: BaseDetector,
-                    graph: Optional[MultiplexGraph] = None) -> pathlib.Path:
-    """Serialize a fitted detector to a single ``.npz`` checkpoint.
+def checkpoint_payload(detector: BaseDetector,
+                       graph: Optional[MultiplexGraph] = None,
+                       ) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
+    """Build a checkpoint's (header, payload arrays) without writing it.
 
-    ``graph`` (or, for UMGAD, the remembered training graph) contributes a
-    fingerprint so the serving layer can recognise "this is the graph the
-    stored scores belong to".
+    This is the serialization half of :func:`save_checkpoint`, split out
+    so the process pool (:mod:`repro.pool`) can publish the exact same
+    representation into shared memory: a worker attaching the payload
+    reconstructs the detector through the same
+    :func:`detector_from_payload` path a file load takes, which is what
+    pins process-tier scores bitwise to the thread tier.
     """
     if detector._scores is None:
         raise CheckpointError(
@@ -139,7 +143,6 @@ def save_checkpoint(path, detector: BaseDetector,
             "saving a checkpoint")
     from ..core.model import UMGAD
 
-    path = pathlib.Path(path)
     header: Dict[str, object] = {
         "magic": MAGIC,
         "format_version": FORMAT_VERSION,
@@ -186,6 +189,19 @@ def save_checkpoint(path, detector: BaseDetector,
             # dtype IS the precision they were fitted at (and what their
             # stored fingerprint hashes).
             trained_dtype = str(graph.x.dtype)
+    else:
+        # A detector reconstructed from a checkpoint has no training
+        # graph, but its original header remembers the fingerprint —
+        # carry the provenance through a re-serialization (activate →
+        # shm publish, registry copy) so the stored-scores fast path
+        # survives the round trip.
+        prior = getattr(detector, "_checkpoint_header", None)
+        if isinstance(prior, dict):
+            for key in ("graph_fingerprint", "num_nodes"):
+                if key in prior:
+                    header[key] = prior[key]
+            if trained_dtype is None and prior.get("dtype"):
+                trained_dtype = prior["dtype"]
 
     # Informational: the precision the model was trained at (NOT the
     # scores' dtype — the scoring pipeline upcasts to float64). Payload
@@ -198,6 +214,19 @@ def save_checkpoint(path, detector: BaseDetector,
         header["dtype"] = trained_dtype
 
     header["checksum"] = _payload_checksum(payload)
+    return header, payload
+
+
+def save_checkpoint(path, detector: BaseDetector,
+                    graph: Optional[MultiplexGraph] = None) -> pathlib.Path:
+    """Serialize a fitted detector to a single ``.npz`` checkpoint.
+
+    ``graph`` (or, for UMGAD, the remembered training graph) contributes a
+    fingerprint so the serving layer can recognise "this is the graph the
+    stored scores belong to".
+    """
+    path = pathlib.Path(path)
+    header, payload = checkpoint_payload(detector, graph)
     np.savez_compressed(
         path, **{_HEADER_KEY: np.array(json.dumps(header))}, **payload)
     return path
@@ -274,17 +303,38 @@ def load_checkpoint(path, match_dtype: bool = False) -> BaseDetector:
         raise CheckpointError(
             f"{path}: corrupted checkpoint payload ({exc})") from exc
 
+    return detector_from_payload(header, payload, source=str(path))
+
+
+def detector_from_payload(header: Dict[str, object],
+                          payload: Dict[str, np.ndarray],
+                          source: str = "<payload>",
+                          verify: bool = True,
+                          copy: bool = True) -> BaseDetector:
+    """Reconstruct a detector from a checkpoint's (header, payload).
+
+    The reconstruction half of :func:`load_checkpoint`, shared with the
+    shared-memory attach path in :mod:`repro.pool` — both entry points
+    build the detector through the exact same code, so a process-tier
+    worker's model is indistinguishable from a file-loaded one.
+
+    ``source`` labels error messages (a path, or a shm manifest tag).
+    ``verify`` re-checks the payload sha256 against the header.
+    ``copy=False`` aliases the payload arrays directly into the detector
+    (model weights, stored scores) instead of copying — the zero-copy
+    mode workers use so N processes share one physical set of weights.
+    """
     checksum = _payload_checksum(payload)
-    if checksum != header.get("checksum"):
+    if verify and checksum != header.get("checksum"):
         raise CheckpointError(
-            f"{path}: payload checksum mismatch — the file is corrupted "
+            f"{source}: payload checksum mismatch — the file is corrupted "
             f"(stored {header.get('checksum')!r:.20}, computed {checksum[:12]}…)")
 
     cls_name = header["detector"]
     classes = detector_classes()
     if cls_name not in classes:
         raise CheckpointError(
-            f"{path}: unknown detector class {cls_name!r}; known: "
+            f"{source}: unknown detector class {cls_name!r}; known: "
             f"{sorted(classes)}")
 
     params = {name[len(_PARAM_PREFIX):]: value
@@ -302,7 +352,7 @@ def load_checkpoint(path, match_dtype: bool = False) -> BaseDetector:
         # refuses unfitted detectors), so a missing entry means an
         # incomplete file — for baselines just as much as for UMGAD.
         raise CheckpointError(
-            f"{path}: checkpoint has no stored scores entry "
+            f"{source}: checkpoint has no stored scores entry "
             "(array::_scores); the file is incomplete")
 
     if cls_name == "UMGAD":
@@ -313,8 +363,8 @@ def load_checkpoint(path, match_dtype: bool = False) -> BaseDetector:
                                     header["num_features"])
         except KeyError as exc:
             raise CheckpointError(
-                f"{path}: header is missing required field {exc}") from None
-        detector.load_state_dict(params)
+                f"{source}: header is missing required field {exc}") from None
+        detector.load_state_dict(params, copy=copy)
         detector._scores = arrays["_scores"]
     else:
         cls = classes[cls_name]

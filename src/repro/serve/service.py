@@ -144,6 +144,15 @@ class DetectorService:
         self._cache: "OrderedDict[str, _CacheEntry]" = OrderedDict()
         # Reentrant: threshold/explain helpers take it while _entry holds it.
         self._lock = threading.RLock()
+        # Serialises fresh scoring passes. score_graph() swaps the
+        # detector's RNG for the duration of a pass, so two concurrent
+        # passes on the same detector (distinct fingerprints — dog-pile
+        # dedup only collapses identical ones) would race it and score
+        # nondeterministically. One pass at a time keeps every result
+        # bitwise reproducible; scaling distinct-fingerprint load is the
+        # process tier's job (repro.pool), where each worker process owns
+        # a private detector.
+        self._score_gate = threading.Lock()
         self._inflight: dict = {}
         # Bumped by replace_detector so stale scoring passes never cache.
         self._generation = 0
@@ -233,7 +242,7 @@ class DetectorService:
         # through the grad-free scoring engine — unless
         # REPRO_DISABLE_FAST_SCORE=1 asks for the sequential
         # tape-recording fallback end to end.
-        with span("service.score_pass"), \
+        with self._score_gate, span("service.score_pass"), \
                 (no_grad() if fast_score_enabled() else nullcontext()):
             return score_graph(graph)
 
@@ -301,6 +310,26 @@ class DetectorService:
     def clear_cache(self) -> None:
         with self._lock:
             self._cache.clear()
+
+    def seed_cache(self, graph: MultiplexGraph, fingerprint: str,
+                   scores: np.ndarray) -> None:
+        """Insert an externally computed result without a scoring pass.
+
+        The process tier uses this: a worker process scored the batch,
+        and the leader seeds its own cache with the result so follow-up
+        fingerprint-only requests, warm-status probes and threshold /
+        explain queries behave exactly as if the thread tier had scored
+        it here. Does not count as a hit or a miss — the pool records
+        its own dispatch telemetry.
+        """
+        entry = _CacheEntry(graph=graph, fingerprint=fingerprint,
+                            scores=scores)
+        with self._lock:
+            self._cache[fingerprint] = entry
+            self._cache.move_to_end(fingerprint)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+                self.stats.evictions += 1
 
     def __len__(self) -> int:
         with self._lock:

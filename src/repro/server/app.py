@@ -38,6 +38,7 @@ from typing import Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from .. import chaos
+from ..obs.log import get_logger
 from ..obs.trace import annotate, sanitize_trace_id, start_trace
 from ..serve.checkpoint import CheckpointError
 from ..serve.service import ServiceError
@@ -56,6 +57,8 @@ _ACTIVATE_PATTERN = re.compile(
     r"^/v1/models/(?P<name>[A-Za-z0-9][A-Za-z0-9._-]*)/activate$")
 
 _MAX_BODY_BYTES = 64 * 1024 * 1024  # refuse absurd inline graph payloads
+
+_log = get_logger("repro.server.app")
 
 
 class ServerHandler(BaseHTTPRequestHandler):
@@ -339,10 +342,38 @@ class ReproServer(ThreadingHTTPServer):
         host = self.server_address[0]
         return f"http://{host}:{self.port}"
 
-    def close(self) -> None:
-        """Stop accepting, drain admitted work, release the socket."""
-        self.gateway.close()
+    def close(self) -> dict:
+        """Stop accepting, drain admitted work, release the socket.
+
+        The gateway's shutdown report (leaked batcher threads, killed
+        pool workers, leaked shm segments) is logged here — a dirty
+        shutdown used to vanish silently — and returned to the caller.
+        Idempotent: repeated calls return the first report unlogged.
+        """
+        previous = getattr(self, "_close_report", None)
+        if previous is not None:
+            self.server_close()
+            return dict(previous)
+        report = self.gateway.close()
+        self._close_report = report
         self.server_close()
+        batcher = report.get("batcher", {})
+        pool = report.get("pool", {})
+        dirty = bool(batcher.get("leaked_workers")) or \
+            bool(pool.get("workers_killed")) or \
+            bool(pool.get("leaked_segments"))
+        if dirty:
+            _log.error("server.dirty_shutdown",
+                       leaked_threads=batcher.get("leaked_workers", []),
+                       pending_at_close=batcher.get("pending_at_close", 0),
+                       pool_workers_killed=pool.get("workers_killed", 0),
+                       leaked_segments=pool.get("leaked_segments", []))
+        else:
+            _log.info("server.shutdown_clean",
+                      batcher_workers_joined=batcher.get(
+                          "workers_joined", 0),
+                      pool_workers_stopped=pool.get("workers_stopped", 0))
+        return report
 
 
 def make_server(gateway: Gateway, host: str = "127.0.0.1", port: int = 0,
@@ -383,12 +414,14 @@ class ServerThread:
         self._thread.start()
         return self
 
-    def stop(self) -> None:
+    def stop(self) -> dict:
+        """Stop serving; returns the server's shutdown report."""
         self.server.shutdown()
-        self.server.close()
+        report = self.server.close()
         if self._thread is not None:
             self._thread.join(timeout=30.0)
             self._thread = None
+        return report
 
     def __enter__(self) -> "ServerThread":
         return self.start()

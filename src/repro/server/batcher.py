@@ -163,11 +163,21 @@ class MicroBatcher:
     max_batch:
         Maximum requests per group; the next request for the same
         fingerprint opens a fresh group.
+    executor:
+        Optional process-tier executor (:class:`repro.pool.ProcessPool`
+        or anything with a ``score(graph, fingerprint)`` method). When
+        set, *cold* batch groups are dispatched to it — distinct
+        fingerprints then score in parallel across worker processes
+        instead of serializing on this process's GIL — and the result is
+        seeded back into ``service``'s cache so warm probes, threshold
+        and explain queries behave identically to the thread tier. Warm
+        groups (cached / stored-scores / in-flight) stay in-process:
+        there is no pass to parallelize.
     """
 
     def __init__(self, service: DetectorService, *, workers: int = 2,
                  max_queue: int = 64, linger_ms: float = 2.0,
-                 max_batch: int = 64):
+                 max_batch: int = 64, executor=None):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if max_queue < 1:
@@ -177,6 +187,7 @@ class MicroBatcher:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         self.service = service
+        self.executor = executor
         self.workers = int(workers)
         self.max_queue = int(max_queue)
         self.max_batch = int(max_batch)
@@ -194,6 +205,9 @@ class MicroBatcher:
         self._groups: Dict[str, _Group] = {}
         self._pending = 0
         self._closed = False
+        self._close_report: dict = {"workers_joined": 0,
+                                    "leaked_workers": [],
+                                    "pending_at_close": 0}
         self._queue: "queue.SimpleQueue[Optional[_Group]]" = queue.SimpleQueue()
         self._shutdown = threading.Event()
         self._spawned = 0
@@ -422,8 +436,18 @@ class MicroBatcher:
             sp.set("coalesced", len(futures) - 1)
             try:
                 chaos.fail_point("batcher.batch", key=group.fingerprint)
-                scores = self.service.scores(group.graph,
-                                             group.fingerprint)
+                if self.executor is not None and \
+                        not self.service.is_warm(group.fingerprint):
+                    sp.set("exec_tier", "process")
+                    scores = self.executor.score(group.graph,
+                                                 group.fingerprint)
+                    self.service.seed_cache(group.graph, group.fingerprint,
+                                            scores)
+                else:
+                    if self.executor is not None:
+                        sp.set("exec_tier", "thread")
+                    scores = self.service.scores(group.graph,
+                                                 group.fingerprint)
             except BaseException as exc:
                 sp.set("error", type(exc).__name__)
                 error = exc
@@ -453,27 +477,38 @@ class MicroBatcher:
                 future.set_result(scores)
 
     # ------------------------------------------------------------------
-    def close(self, wait: bool = True) -> None:
+    def close(self, wait: bool = True) -> dict:
         """Stop admitting, drain queued groups, stop the workers.
 
         Already-admitted requests are still answered (the shutdown
         sentinels sit behind every queued group in FIFO order); new
         submissions fail with a 503 :class:`AdmissionError`.
+
+        Returns a shutdown report —
+        ``{"workers_joined", "leaked_workers", "pending_at_close"}`` —
+        so callers (gateway → app shutdown) can *propagate* a dirty
+        shutdown instead of dropping it; ``leaked_workers`` lists the
+        thread names still alive after the join timeout. Calling again
+        returns the first close's report.
         """
         with self._lock:
             if self._closed:
-                return
+                return dict(self._close_report)
             self._closed = True
+            pending_at_close = self._pending
         # Stop the watchdog before workers exit on their sentinels, so a
         # cleanly-exiting worker is never mistaken for a crash.
         self._shutdown.set()
         self._watchdog_thread.join(timeout=5.0)
         for _ in self._threads:
             self._queue.put(None)
+        leaked: List[str] = []
+        joined = 0
         if wait:
             for thread in self._threads:
                 thread.join(timeout=_JOIN_TIMEOUT)
             leaked = [t.name for t in self._threads if t.is_alive()]
+            joined = len(self._threads) - len(leaked)
             if leaked:
                 # A worker wedged in a scoring pass past the join timeout
                 # is a real leak (daemon thread holding arbitrary state) —
@@ -482,6 +517,14 @@ class MicroBatcher:
                     self.stats.leaked_workers += len(leaked)
                 _log.error("batcher.workers_leaked", workers=leaked,
                            timeout_s=_JOIN_TIMEOUT)
+        report = {
+            "workers_joined": joined,
+            "leaked_workers": leaked,
+            "pending_at_close": pending_at_close,
+        }
+        with self._lock:
+            self._close_report = report
+        return dict(report)
 
     def __enter__(self) -> "MicroBatcher":
         return self

@@ -80,6 +80,16 @@ class Gateway:
         detector's relation schema on the first ``/v1/events`` request.
     workers / max_queue / linger_ms / max_batch:
         Forwarded to the :class:`MicroBatcher`.
+    exec_tier:
+        ``"thread"`` (default) scores in-process; ``"process"`` forks a
+        :class:`repro.pool.ProcessPool` of ``worker_procs`` scoring
+        processes over a shared-memory copy of the active checkpoint —
+        distinct-fingerprint batches then run in true parallel. Falls
+        back to the thread tier (recorded in ``pool_fallback_reason``
+        and the startup log) when shared memory is unavailable or the
+        pool cannot start.
+    worker_procs:
+        Scoring processes for the process tier (ignored for threads).
     request_timeout:
         Seconds a score request may wait on its batch before the gateway
         gives up with a 503.
@@ -114,13 +124,35 @@ class Gateway:
                  wal_fsync: bool = True,
                  breaker_failures: int = 3,
                  breaker_reset_seconds: float = 30.0,
-                 stale_cache_size: int = 64):
+                 stale_cache_size: int = 64,
+                 exec_tier: str = "thread",
+                 worker_procs: int = 2):
         self.service = service
         self.registry = registry
         self.active_model = active_model
+        if exec_tier not in ("thread", "process"):
+            raise ValueError(
+                f"exec_tier must be 'thread' or 'process', got {exec_tier!r}")
+        # The pool must exist before ANY thread this constructor starts
+        # (batcher workers, runtime sampler): the default start method is
+        # fork, and forking a multi-threaded process is where the dragons
+        # live. Pool startup failure is a degradation, not an error — the
+        # thread tier serves every request the process tier would.
+        self.pool = None
+        self.exec_tier = "thread"
+        self.pool_fallback_reason: Optional[str] = None
+        if exec_tier == "process":
+            from ..pool import PoolUnavailable, ProcessPool
+            try:
+                self.pool = ProcessPool(service.detector,
+                                        workers=worker_procs,
+                                        cache_size=service.cache_size)
+                self.exec_tier = "process"
+            except PoolUnavailable as exc:
+                self.pool_fallback_reason = str(exc)
         self.batcher = MicroBatcher(service, workers=workers,
                                     max_queue=max_queue, linger_ms=linger_ms,
-                                    max_batch=max_batch)
+                                    max_batch=max_batch, executor=self.pool)
         self.request_timeout = float(request_timeout)
         self._monitor_kwargs = dict(window=window, stride=stride, top_k=top_k,
                                     psi_threshold=psi_threshold,
@@ -156,8 +188,12 @@ class Gateway:
         self._stale_scores: "OrderedDict[str, object]" = OrderedDict()
         self._stale_capacity = int(stale_cache_size)
         self._degraded_served = 0
-        #: background process-telemetry sampler (RSS/GC/threads/FDs)
-        self.sampler = RuntimeSampler(interval=sample_interval).start()
+        #: background process-telemetry sampler (RSS/GC/threads/FDs, plus
+        #: per-worker pool probes when the process tier is active)
+        self.sampler = RuntimeSampler(
+            interval=sample_interval,
+            pool_probe=self.pool.worker_infos if self.pool is not None
+            else None).start()
         self._started = time.monotonic()
         if wal_dir is not None:
             # Recover stream state at startup, not on the first request:
@@ -476,12 +512,26 @@ class Gateway:
             raise GatewayError(str(exc.args[0]), 404) from None
         epochs, seconds = self.service.replace_detector(detector)
         self.active_model = name
-        return {
+        response = {
             "activated": name,
             "detector": type(detector).__name__,
             "refit_epochs": epochs,
             "refit_seconds": seconds,
         }
+        if self.pool is not None:
+            # Retarget the scoring processes: publish a new shm generation
+            # and hot-swap every worker. Old segments stay readable until
+            # the last in-flight batch drains (generation refcounting).
+            try:
+                response["pool_generation"] = \
+                    self.pool.publish_detector(detector)
+            except Exception as exc:  # noqa: BLE001 - degraded, not fatal
+                # The in-process service already swapped; a worker that
+                # missed the reload is respawned against the new manifest
+                # by the pool itself. Surface the partial swap instead of
+                # failing an activation the thread tier already served.
+                response["pool_error"] = str(exc)
+        return response
 
     # ------------------------------------------------------------------
     # GET /healthz + GET /metrics
@@ -498,6 +548,7 @@ class Gateway:
             "active_model": self.active_model,
             "uptime_seconds": self.uptime_seconds,
             "queue_depth": self.batcher.queue_depth,
+            "exec_tier": self.exec_tier,
         }
         if deep:
             payload["components"] = self._component_health()
@@ -533,6 +584,16 @@ class Gateway:
             "slo": self.slo.snapshot(),
             "breaker": self.breaker.snapshot(),
         }
+        if self.pool is not None:
+            components["pool"] = {
+                **self.pool.stats(),
+                "worker_infos": self.pool.worker_infos(),
+            }
+        elif self.pool_fallback_reason is not None:
+            components["pool"] = {
+                "fallback": "thread",
+                "reason": self.pool_fallback_reason,
+            }
         monitor = self.monitor
         if monitor is not None:
             components["stream"] = monitor.stats_dict()
@@ -691,6 +752,7 @@ class Gateway:
         self._render_runtime_metrics(registry)
         self._render_cache_metrics(registry)
         self._render_slo_metrics(registry)
+        self._render_pool_metrics(registry)
         return registry.render()
 
     def _render_runtime_metrics(self, registry: MetricsRegistry) -> None:
@@ -777,6 +839,70 @@ class Gateway:
                        "Share of worker capacity spent on batch groups.",
                        busy / capacity if capacity > 0 else 0.0)
 
+    def _render_pool_metrics(self, registry: MetricsRegistry) -> None:
+        """Process-tier gauges/counters (``pool_*``); absent on threads."""
+        pool = self.pool
+        if pool is None:
+            return
+        stats = pool.stats()
+        registry.gauge("pool_workers",
+                       "Scoring worker processes configured.",
+                       stats["workers"])
+        registry.gauge("pool_workers_alive",
+                       "Scoring worker processes currently alive.",
+                       stats["workers_alive"])
+        registry.counter("pool_dispatches_total",
+                         "Batches dispatched to worker processes.",
+                         stats["dispatches"])
+        registry.counter("pool_retries_total",
+                         "Batches retried after a worker crash or stall.",
+                         stats["retries"])
+        registry.counter("pool_worker_deaths_total",
+                         "Worker processes that died and were respawned.",
+                         stats["worker_deaths"])
+        registry.gauge("pool_generation",
+                       "Active shared-checkpoint generation.",
+                       stats["shm_generation"])
+        registry.gauge("pool_shm_generations_live",
+                       "Checkpoint generations still mapped (in-flight "
+                       "batches pin retired ones).",
+                       stats["shm_generations_live"])
+        registry.gauge("pool_shm_segments",
+                       "Shared-memory segments currently linked.",
+                       stats["shm_segments"])
+        registry.gauge("pool_shm_bytes",
+                       "Bytes of checkpoint payload in shared memory "
+                       "(one copy per machine).",
+                       stats["shm_bytes"])
+        registry.gauge("pool_shm_refs",
+                       "In-flight batch references pinning generations.",
+                       stats["shm_refs"])
+        registry.counter("pool_shm_retired_total",
+                         "Retired generations whose segments were unlinked.",
+                         stats["shm_retired_unlinked"])
+        infos = pool.worker_infos()
+        if infos:
+            registry.add(
+                "pool_worker_alive", "gauge",
+                "1 when the scoring worker process is alive, by worker.",
+                [({"worker": str(i["worker"])}, 1 if i["alive"] else 0)
+                 for i in infos])
+            registry.add(
+                "pool_worker_requests_total", "counter",
+                "Batches answered, by worker process.",
+                [({"worker": str(i["worker"])}, i["requests"])
+                 for i in infos])
+            registry.add(
+                "pool_worker_respawns_total", "counter",
+                "Times the worker slot was respawned, by worker.",
+                [({"worker": str(i["worker"])}, i["respawns"])
+                 for i in infos])
+            registry.add(
+                "pool_worker_resident_memory_bytes", "gauge",
+                "Resident set size of the scoring worker, by worker.",
+                [({"worker": str(i["worker"])}, i["rss_bytes"])
+                 for i in infos])
+
     def _render_slo_metrics(self, registry: MetricsRegistry) -> None:
         """Per-endpoint rolling SLO gauges + window burn counters."""
         statuses = self.slo.statuses()
@@ -820,8 +946,16 @@ class Gateway:
                      burns)
 
     # ------------------------------------------------------------------
-    def close(self) -> None:
-        self.batcher.close()
+    def close(self) -> dict:
+        """Shut everything down; returns the aggregated shutdown report.
+
+        The report carries what did *not* die cleanly — leaked batcher
+        threads, killed worker processes, leaked shm segments — so the
+        app/CLI layer can log a dirty shutdown instead of dropping it.
+        """
+        report: Dict[str, dict] = {"batcher": self.batcher.close()}
+        if self.pool is not None:
+            report["pool"] = self.pool.close()
         self.sampler.close()
         monitor = self.monitor
         if monitor is not None and monitor.wal is not None:
@@ -829,6 +963,7 @@ class Gateway:
             # recovers instantly from the snapshot with nothing to replay.
             monitor.checkpoint()
             monitor.wal.close()
+        return report
 
 
 __all__ = ["API_VERSION", "Gateway", "GatewayError", "SERVER_NAME"]
